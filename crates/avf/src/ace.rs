@@ -1,0 +1,430 @@
+//! Ground-truth ACE/un-ACE classification.
+//!
+//! Works on the *committed* instruction stream of each thread (wrong-path
+//! instructions never commit and are un-ACE by construction). The
+//! algorithm keeps a sliding window of the last `window` committed
+//! instructions per thread:
+//!
+//! 1. At commit, an instruction records its register *producers* (the
+//!    most recent in-window writers of its sources) and refreshes the
+//!    last-writer table with its own destination.
+//! 2. ACE **sinks** — stores, program outputs and control decisions — are
+//!    ACE by definition; committing one walks its producer closure and
+//!    marks every reached instruction ACE.
+//! 3. When an instruction slides out of the window its classification is
+//!    final: if no sink reached it by then, it is dynamically dead →
+//!    un-ACE. This is exactly the approximation of Mukherjee et al.'s
+//!    40 000-instruction post-graduate analysis window.
+//!
+//! The analyzer is generic over a `payload` carried per instruction and
+//! returned at finalization, so the AVF collector attaches full
+//! retirement events while the offline profiler attaches nothing.
+
+use micro_isa::{OpClass, Pc, Reg, ThreadId};
+use std::collections::VecDeque;
+
+/// The paper's analysis-window size (instructions per thread).
+pub const DEFAULT_ACE_WINDOW: usize = 40_000;
+
+/// The per-instruction facts the dataflow analysis needs.
+#[derive(Debug, Clone)]
+pub struct AceInstRecord {
+    pub tid: ThreadId,
+    pub pc: Pc,
+    pub op: OpClass,
+    pub dest: Option<Reg>,
+    pub srcs: [Option<Reg>; 2],
+    /// Commit timestamp (used for register-file lifetime tracking;
+    /// functional callers may use the instruction index).
+    pub commit_cycle: u64,
+}
+
+/// A finalized classification handed to the caller's sink.
+#[derive(Debug)]
+pub struct Finalized<P> {
+    pub rec: AceInstRecord,
+    pub ace: bool,
+    /// Commit cycle of the last in-window reader of this instruction's
+    /// result (None if never read) — the register-file live interval end.
+    pub last_read_cycle: Option<u64>,
+    pub payload: P,
+}
+
+struct Entry<P> {
+    rec: AceInstRecord,
+    producers: [Option<u64>; 2],
+    ace: bool,
+    last_read_cycle: Option<u64>,
+    payload: P,
+}
+
+struct ThreadWindow<P> {
+    /// Monotonic index of `entries.front()`.
+    base: u64,
+    entries: VecDeque<Entry<P>>,
+    /// Most recent in-flight writer (monotonic index) per register.
+    last_writer: [Option<u64>; micro_isa::reg::NUM_REGS],
+}
+
+impl<P> ThreadWindow<P> {
+    fn new() -> Self {
+        ThreadWindow {
+            base: 0,
+            entries: VecDeque::new(),
+            last_writer: [None; micro_isa::reg::NUM_REGS],
+        }
+    }
+
+    #[inline]
+    fn get_mut(&mut self, idx: u64) -> Option<&mut Entry<P>> {
+        if idx < self.base {
+            return None;
+        }
+        self.entries.get_mut((idx - self.base) as usize)
+    }
+}
+
+/// Is `op` an ACE sink? Control decisions, stores and explicit outputs
+/// all directly determine architecturally visible behaviour.
+#[inline]
+pub fn is_sink(op: OpClass) -> bool {
+    op.is_control() || matches!(op, OpClass::Store | OpClass::Output)
+}
+
+/// The windowed ACE analyzer.
+pub struct AceAnalyzer<P> {
+    window: usize,
+    threads: Vec<ThreadWindow<P>>,
+    /// Scratch stack for the producer-closure walk.
+    walk: Vec<u64>,
+}
+
+impl<P> AceAnalyzer<P> {
+    pub fn new(num_threads: usize, window: usize) -> AceAnalyzer<P> {
+        assert!(window >= 1);
+        AceAnalyzer {
+            window,
+            threads: (0..num_threads).map(|_| ThreadWindow::new()).collect(),
+            walk: Vec::new(),
+        }
+    }
+
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Feed one committed instruction (per-thread program order).
+    /// Instructions that slide out of the window are passed to
+    /// `finalize`.
+    pub fn push(&mut self, rec: AceInstRecord, payload: P, finalize: &mut impl FnMut(Finalized<P>)) {
+        let tid = rec.tid as usize;
+        let tw = &mut self.threads[tid];
+        let idx = tw.base + tw.entries.len() as u64;
+
+        // Resolve producers and update their last-read stamps.
+        let mut producers = [None, None];
+        for (slot, src) in producers.iter_mut().zip(rec.srcs.iter()) {
+            if let Some(reg) = src {
+                if let Some(widx) = tw.last_writer[reg.flat_index()] {
+                    if let Some(w) = tw.get_mut(widx) {
+                        w.last_read_cycle = Some(rec.commit_cycle);
+                        *slot = Some(widx);
+                    }
+                }
+            }
+        }
+        let sink = is_sink(rec.op);
+        if let Some(d) = rec.dest {
+            tw.last_writer[d.flat_index()] = Some(idx);
+        }
+        tw.entries.push_back(Entry {
+            rec,
+            producers,
+            ace: sink, // sinks are ACE by definition; others start un-ACE
+            last_read_cycle: None,
+            payload,
+        });
+
+        // A sink makes its entire producer closure ACE.
+        if sink {
+            debug_assert!(self.walk.is_empty());
+            for p in producers.into_iter().flatten() {
+                self.walk.push(p);
+            }
+            while let Some(widx) = self.walk.pop() {
+                let Some(e) = self.threads[tid].get_mut(widx) else {
+                    continue; // producer already left the window
+                };
+                if e.ace {
+                    continue;
+                }
+                e.ace = true;
+                for p in e.producers.into_iter().flatten() {
+                    self.walk.push(p);
+                }
+            }
+        }
+
+        // Slide the window.
+        let tw = &mut self.threads[tid];
+        while tw.entries.len() > self.window {
+            let e = tw.entries.pop_front().unwrap();
+            let idx = tw.base;
+            tw.base += 1;
+            // Retire stale last-writer references.
+            if let Some(d) = e.rec.dest {
+                if tw.last_writer[d.flat_index()] == Some(idx) {
+                    tw.last_writer[d.flat_index()] = None;
+                }
+            }
+            finalize(Finalized {
+                rec: e.rec,
+                ace: e.ace,
+                last_read_cycle: e.last_read_cycle,
+                payload: e.payload,
+            });
+        }
+    }
+
+    /// Finalize everything still in flight (end of run).
+    pub fn drain(&mut self, finalize: &mut impl FnMut(Finalized<P>)) {
+        for tw in &mut self.threads {
+            while let Some(e) = tw.entries.pop_front() {
+                tw.base += 1;
+                finalize(Finalized {
+                    rec: e.rec,
+                    ace: e.ace,
+                    last_read_cycle: e.last_read_cycle,
+                    payload: e.payload,
+                });
+            }
+            tw.last_writer = [None; micro_isa::reg::NUM_REGS];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: OpClass, dest: Option<Reg>, srcs: [Option<Reg>; 2], cycle: u64) -> AceInstRecord {
+        AceInstRecord {
+            tid: 0,
+            pc: cycle,
+            op,
+            dest,
+            srcs,
+            commit_cycle: cycle,
+        }
+    }
+
+    fn run(stream: Vec<AceInstRecord>, window: usize) -> Vec<(u64, bool)> {
+        let mut az: AceAnalyzer<u64> = AceAnalyzer::new(1, window);
+        let mut out = Vec::new();
+        for (i, r) in stream.into_iter().enumerate() {
+            az.push(r, i as u64, &mut |f| out.push((f.payload, f.ace)));
+        }
+        az.drain(&mut |f| out.push((f.payload, f.ace)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn value_reaching_store_is_ace() {
+        let r1 = Reg::int(1);
+        let out = run(
+            vec![
+                rec(OpClass::IAlu, Some(r1), [None, None], 0),
+                rec(OpClass::Store, None, [Some(r1), None], 1),
+            ],
+            100,
+        );
+        assert_eq!(out, vec![(0, true), (1, true)]);
+    }
+
+    #[test]
+    fn unread_value_is_dead() {
+        let r1 = Reg::int(1);
+        let out = run(
+            vec![
+                rec(OpClass::IAlu, Some(r1), [None, None], 0),
+                rec(OpClass::IAlu, Some(r1), [None, None], 1), // overwrites
+                rec(OpClass::Store, None, [Some(r1), None], 2),
+            ],
+            100,
+        );
+        // First write dead (overwritten unread); second reaches the store.
+        assert_eq!(out, vec![(0, false), (1, true), (2, true)]);
+    }
+
+    #[test]
+    fn transitive_chain_to_sink_is_ace() {
+        let (a, b, c) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let out = run(
+            vec![
+                rec(OpClass::IAlu, Some(a), [None, None], 0),
+                rec(OpClass::IMul, Some(b), [Some(a), None], 1),
+                rec(OpClass::FAlu, Some(c), [Some(b), None], 2),
+                rec(OpClass::Output, None, [Some(c), None], 3),
+            ],
+            100,
+        );
+        assert!(out.iter().all(|&(_, ace)| ace));
+    }
+
+    #[test]
+    fn dead_chain_stays_dead() {
+        let (a, b) = (Reg::int(1), Reg::int(2));
+        let out = run(
+            vec![
+                rec(OpClass::IAlu, Some(a), [None, None], 0),
+                rec(OpClass::IAlu, Some(b), [Some(a), None], 1),
+                // b never consumed by any sink.
+            ],
+            100,
+        );
+        assert_eq!(out, vec![(0, false), (1, false)]);
+    }
+
+    #[test]
+    fn nop_is_unace_branch_is_ace() {
+        let out = run(
+            vec![
+                rec(OpClass::Nop, None, [None, None], 0),
+                rec(OpClass::CondBranch, None, [None, None], 1),
+            ],
+            100,
+        );
+        assert_eq!(out, vec![(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn branch_condition_chain_is_ace() {
+        let a = Reg::int(1);
+        let out = run(
+            vec![
+                rec(OpClass::IAlu, Some(a), [None, None], 0),
+                rec(OpClass::CondBranch, None, [Some(a), None], 1),
+            ],
+            100,
+        );
+        assert_eq!(out, vec![(0, true), (1, true)]);
+    }
+
+    #[test]
+    fn window_expiry_freezes_classification() {
+        // Producer leaves a window of 2 before its consumer's sink
+        // commits: the producer must finalize as un-ACE (the window
+        // approximation), while in a larger window it would be ACE.
+        let (a, b) = (Reg::int(1), Reg::int(2));
+        let stream = || {
+            vec![
+                rec(OpClass::IAlu, Some(a), [None, None], 0),
+                rec(OpClass::IAlu, Some(b), [Some(a), None], 1),
+                rec(OpClass::Nop, None, [None, None], 2),
+                rec(OpClass::Nop, None, [None, None], 3),
+                rec(OpClass::Store, None, [Some(b), None], 4),
+            ]
+        };
+        let small = run(stream(), 2);
+        assert_eq!(small[0], (0, false), "producer expired before the sink");
+        let large = run(stream(), 100);
+        assert_eq!(large[0], (0, true));
+        assert_eq!(large[1], (1, true));
+    }
+
+    #[test]
+    fn loop_accumulator_all_iterations_ace() {
+        // acc = acc + x each iteration; stored after the loop.
+        let acc = Reg::int(5);
+        let mut stream = Vec::new();
+        for k in 0..10 {
+            stream.push(rec(OpClass::IAlu, Some(acc), [Some(acc), None], k));
+        }
+        stream.push(rec(OpClass::Store, None, [Some(acc), None], 10));
+        let out = run(stream, 100);
+        assert!(out.iter().all(|&(_, ace)| ace), "{out:?}");
+    }
+
+    #[test]
+    fn loop_overwrite_only_last_iteration_ace() {
+        // m = x * y each iteration (overwrite, no carry); stored after.
+        let m = Reg::int(6);
+        let mut stream = Vec::new();
+        for k in 0..10 {
+            stream.push(rec(OpClass::IMul, Some(m), [None, None], k));
+        }
+        stream.push(rec(OpClass::Store, None, [Some(m), None], 10));
+        let out = run(stream, 100);
+        for (i, &(_, ace)) in out.iter().enumerate() {
+            if i < 9 {
+                assert!(!ace, "iteration {i} must be dead");
+            } else {
+                assert!(ace, "entry {i} must be ACE");
+            }
+        }
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        let a = Reg::int(1);
+        let mut az: AceAnalyzer<(u8, bool)> = AceAnalyzer::new(2, 10);
+        let mut out = Vec::new();
+        // Thread 0 writes r1 and never uses it; thread 1 stores its own r1.
+        az.push(
+            AceInstRecord {
+                tid: 0,
+                pc: 0,
+                op: OpClass::IAlu,
+                dest: Some(a),
+                srcs: [None, None],
+                commit_cycle: 0,
+            },
+            (0, false),
+            &mut |_| {},
+        );
+        az.push(
+            AceInstRecord {
+                tid: 1,
+                pc: 0,
+                op: OpClass::Store,
+                dest: None,
+                srcs: [Some(a), None],
+                commit_cycle: 1,
+            },
+            (1, true),
+            &mut |_| {},
+        );
+        az.drain(&mut |f| out.push((f.payload.0, f.ace)));
+        out.sort_unstable();
+        // Thread 1's store must NOT have made thread 0's write ACE.
+        assert_eq!(out, vec![(0, false), (1, true)]);
+    }
+
+    #[test]
+    fn last_read_cycle_tracked() {
+        let a = Reg::int(1);
+        let mut az: AceAnalyzer<u64> = AceAnalyzer::new(1, 100);
+        let mut reads = Vec::new();
+        az.push(rec(OpClass::IAlu, Some(a), [None, None], 5), 0, &mut |_| {});
+        az.push(rec(OpClass::Store, None, [Some(a), None], 9), 1, &mut |_| {});
+        az.push(rec(OpClass::Store, None, [Some(a), None], 14), 2, &mut |_| {});
+        az.drain(&mut |f| reads.push((f.payload, f.last_read_cycle)));
+        reads.sort_unstable();
+        assert_eq!(reads[0], (0, Some(14)), "last read at cycle 14");
+        assert_eq!(reads[1], (1, None));
+    }
+
+    #[test]
+    fn drain_flushes_everything() {
+        let mut az: AceAnalyzer<u64> = AceAnalyzer::new(1, 1000);
+        let mut count = 0;
+        for k in 0..57 {
+            az.push(rec(OpClass::Nop, None, [None, None], k), k, &mut |_| {
+                count += 1
+            });
+        }
+        az.drain(&mut |_| count += 1);
+        assert_eq!(count, 57);
+    }
+}

@@ -1,0 +1,159 @@
+//! FIT-rate estimation: from AVF to failures-in-time.
+//!
+//! AVF is the *derating* factor between a structure's raw soft-error rate
+//! and its architecturally visible error rate (Mukherjee et al.):
+//!
+//! ```text
+//! FIT(structure) = raw_FIT_per_bit × bits × AVF
+//! ```
+//!
+//! The paper motivates its optimizations by rising raw SER at advanced
+//! technology nodes; this module turns the simulator's AVF reports into
+//! the FIT budgets an SoC reliability engineer actually works with, and
+//! quantifies what a mechanism like VISA+opt2 buys in MTTF.
+
+use crate::collector::AvfReport;
+use crate::layout;
+use smt_sim::MachineConfig;
+
+/// Hours per billion device-hours (the FIT unit's denominator).
+const FIT_HOURS: f64 = 1e9;
+
+/// A raw soft-error-rate assumption.
+#[derive(Debug, Clone, Copy)]
+pub struct FitModel {
+    /// Raw FIT per storage bit (typical latch/SRAM figures at the
+    /// paper's era: ~1e-3 to 1e-4 FIT/bit).
+    pub raw_fit_per_bit: f64,
+}
+
+impl FitModel {
+    /// A representative 2008-era technology point: 1 milli-FIT per bit.
+    pub fn nominal() -> FitModel {
+        FitModel {
+            raw_fit_per_bit: 1e-3,
+        }
+    }
+
+    /// FIT contribution of a structure given its bit count and AVF.
+    pub fn structure_fit(&self, bits: f64, avf: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&avf), "AVF out of range: {avf}");
+        self.raw_fit_per_bit * bits * avf
+    }
+
+    /// Mean time to failure (hours) for a given total FIT.
+    pub fn mttf_hours(total_fit: f64) -> f64 {
+        if total_fit <= 0.0 {
+            f64::INFINITY
+        } else {
+            FIT_HOURS / total_fit
+        }
+    }
+}
+
+/// Per-structure FIT breakdown of one simulation.
+#[derive(Debug, Clone)]
+pub struct FitBreakdown {
+    pub iq_fit: f64,
+    pub rob_fit: f64,
+    pub rf_fit: f64,
+    pub fu_fit: f64,
+    pub lsq_fit: f64,
+}
+
+impl FitBreakdown {
+    /// Derive the breakdown from an AVF report and the machine geometry.
+    pub fn from_report(report: &AvfReport, machine: &MachineConfig, model: FitModel) -> FitBreakdown {
+        let nt = machine.num_threads as f64;
+        let iq_bits = machine.iq_size as f64 * smt_sim::layout::IQ_ENTRY_BITS as f64;
+        let rob_bits = nt * machine.rob_size as f64 * layout::ROB_ENTRY_BITS as f64;
+        let rf_bits = nt * micro_isa::reg::NUM_REGS as f64 * layout::RF_REG_BITS as f64;
+        let fu_bits =
+            machine.fu_pool_sizes.iter().sum::<usize>() as f64 * layout::FU_LATCH_BITS as f64;
+        let lsq_bits = nt * machine.lsq_size as f64 * layout::LSQ_ENTRY_BITS as f64;
+        FitBreakdown {
+            iq_fit: model.structure_fit(iq_bits, report.iq_avf),
+            rob_fit: model.structure_fit(rob_bits, report.rob_avf),
+            rf_fit: model.structure_fit(rf_bits, report.rf_avf),
+            fu_fit: model.structure_fit(fu_bits, report.fu_avf),
+            lsq_fit: model.structure_fit(lsq_bits, report.lsq_avf),
+        }
+    }
+
+    /// Total FIT across the modeled structures.
+    pub fn total(&self) -> f64 {
+        self.iq_fit + self.rob_fit + self.rf_fit + self.fu_fit + self.lsq_fit
+    }
+
+    /// The IQ's share of the total — the quantity that justifies the
+    /// paper's focus ("the IQ is likely to be a reliability hot-spot").
+    pub fn iq_share(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.iq_fit / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_stats::IntervalSeries;
+
+    fn report(iq: f64, rob: f64, rf: f64, fu: f64, lsq: f64) -> AvfReport {
+        AvfReport {
+            cycles: 1,
+            iq_avf: iq,
+            rob_avf: rob,
+            rf_avf: rf,
+            fu_avf: fu,
+            lsq_avf: lsq,
+            iq_interval_avf: IntervalSeries::new(),
+            ace_fraction: 0.4,
+            committed: 1,
+        }
+    }
+
+    #[test]
+    fn fit_scales_linearly_with_avf_and_bits() {
+        let m = FitModel {
+            raw_fit_per_bit: 1e-3,
+        };
+        assert!((m.structure_fit(1000.0, 0.5) - 0.5).abs() < 1e-12);
+        assert_eq!(m.structure_fit(1000.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "AVF out of range")]
+    fn avf_bounds_enforced() {
+        FitModel::nominal().structure_fit(10.0, 1.5);
+    }
+
+    #[test]
+    fn mttf_inverts_fit() {
+        assert!((FitModel::mttf_hours(1000.0) - 1e6).abs() < 1e-6);
+        assert!(FitModel::mttf_hours(0.0).is_infinite());
+    }
+
+    #[test]
+    fn breakdown_totals_and_iq_share() {
+        let machine = MachineConfig::table2();
+        let rep = report(0.4, 0.1, 0.1, 0.05, 0.2);
+        let b = FitBreakdown::from_report(&rep, &machine, FitModel::nominal());
+        let total = b.total();
+        assert!(total > 0.0);
+        assert!((b.iq_fit + b.rob_fit + b.rf_fit + b.fu_fit + b.lsq_fit - total).abs() < 1e-12);
+        assert!(b.iq_share() > 0.0 && b.iq_share() < 1.0);
+    }
+
+    #[test]
+    fn halving_iq_avf_halves_iq_fit() {
+        let machine = MachineConfig::table2();
+        let hi = FitBreakdown::from_report(&report(0.4, 0.1, 0.1, 0.05, 0.2), &machine, FitModel::nominal());
+        let lo = FitBreakdown::from_report(&report(0.2, 0.1, 0.1, 0.05, 0.2), &machine, FitModel::nominal());
+        assert!((hi.iq_fit / lo.iq_fit - 2.0).abs() < 1e-9);
+        assert!((hi.rob_fit - lo.rob_fit).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Bit layouts of the non-IQ structures (the IQ layout is
+//! `smt_sim::layout`, shared with the pipeline's online counter).
+//!
+//! These weights encode the modelling choices that give the Figure 1
+//! relative ordering its microarchitectural justification:
+//!
+//! * **ROB** entries are bookkeeping-dominated: destination architectural
+//!   register, exception/completion flags, PC for recovery. The paper's
+//!   M-Sim keeps operand payloads in the IQ/RF, not the ROB, so a ROB
+//!   entry is narrow (32 bits) and most of its content stops mattering
+//!   once the instruction has written back (only completion/exception
+//!   state remains ACE until commit).
+//! * **Register file**: a register's 64 data bits are ACE exactly while
+//!   an ACE value is live in it (producer writeback → last read).
+//! * **Function units**: in-flight operand/result latches, ACE only
+//!   while an ACE instruction executes.
+//! * **LSQ** entries hold address + data: wide (80 bits), mostly ACE for
+//!   ACE memory ops.
+
+/// ROB entry width in bits.
+pub const ROB_ENTRY_BITS: u32 = 40;
+/// ROB ACE bits for an ACE instruction between dispatch and writeback.
+pub const ROB_ACE_PRE_WB: u32 = 20;
+/// ROB ACE bits for an ACE instruction between writeback and commit
+/// (only completion/exception state still matters).
+pub const ROB_ACE_POST_WB: u32 = 4;
+/// ROB ACE bits for a committed un-ACE instruction (opcode/valid state
+/// needed to retire it correctly).
+pub const ROB_ACE_UNACE: u32 = 4;
+
+/// Architectural register width in bits.
+pub const RF_REG_BITS: u32 = 64;
+
+/// Latch bits per function unit (operands + result + control).
+pub const FU_LATCH_BITS: u32 = 160;
+/// FU ACE bits while an ACE instruction occupies the unit.
+pub const FU_ACE_BITS: u32 = 144;
+/// FU ACE bits while a committed un-ACE instruction occupies the unit.
+pub const FU_UNACE_BITS: u32 = 8;
+
+/// LSQ entry width in bits (44-bit address + 32-bit data/status).
+pub const LSQ_ENTRY_BITS: u32 = 80;
+/// LSQ ACE bits for an ACE memory operation (address + status always;
+/// the 32-bit data field only matters once filled, so on average roughly
+/// half of it is exposed).
+pub const LSQ_ACE_BITS: u32 = 56;
+/// LSQ ACE bits for a committed un-ACE memory operation.
+pub const LSQ_UNACE_BITS: u32 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ace_weights_fit_entry_widths() {
+        assert!(ROB_ACE_PRE_WB <= ROB_ENTRY_BITS);
+        assert!(ROB_ACE_POST_WB <= ROB_ACE_PRE_WB);
+        assert!(ROB_ACE_UNACE < ROB_ACE_PRE_WB);
+        assert!(FU_ACE_BITS <= FU_LATCH_BITS);
+        assert!(FU_UNACE_BITS < FU_ACE_BITS);
+        assert!(LSQ_ACE_BITS <= LSQ_ENTRY_BITS);
+        assert!(LSQ_UNACE_BITS < LSQ_ACE_BITS);
+    }
+
+    #[test]
+    fn rob_is_narrower_than_iq() {
+        // The Figure 1 ordering (IQ is the hot-spot) rests on the IQ
+        // entry being payload-dense relative to the ROB.
+        assert!(ROB_ENTRY_BITS < smt_sim::layout::IQ_ENTRY_BITS);
+        assert!(
+            (ROB_ACE_PRE_WB as f64 / ROB_ENTRY_BITS as f64)
+                < (smt_sim::layout::ACE_INST_BITS as f64
+                    / smt_sim::layout::IQ_ENTRY_BITS as f64)
+        );
+    }
+}

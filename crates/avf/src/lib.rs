@@ -1,0 +1,36 @@
+//! # `avf` — architectural vulnerability factor machinery
+//!
+//! Implements the AVF methodology of Mukherjee et al. (MICRO 2003) on top
+//! of the `smt-sim` pipeline, at bit granularity:
+//!
+//! * [`ace`] — the ground-truth **ACE analysis**: a sliding post-commit
+//!   window (default 40 000 instructions, the paper's choice) over each
+//!   thread's committed stream. An instruction is ACE iff its result
+//!   transitively reaches an ACE *sink* (store, program output, control
+//!   decision) before being overwritten or falling out of the window.
+//!   NOPs, dynamically dead computation and everything squashed are
+//!   un-ACE.
+//! * [`layout`] — per-structure bit layouts and per-instruction ACE-bit
+//!   weights for the ROB, register file, function units and LSQ (the IQ
+//!   layout lives in `smt_sim::layout`, shared with the pipeline's online
+//!   hint counter).
+//! * [`collector`] — an [`smt_sim::SimObserver`] that folds retirement
+//!   events through the ACE analysis into per-structure AVFs and the
+//!   per-interval IQ AVF series that DVM's PVE metric is computed from.
+//! * [`fit`] — FIT-rate estimation: AVF × raw SER × bits, the failure
+//!   budget that motivates the paper's optimizations.
+//! * [`profiler`] — the paper's **offline vulnerability profiling**
+//!   (Section 2.1): a functional correct-path run classifies every static
+//!   PC as ACE (any dynamic instance ACE) or un-ACE, producing the 1-bit
+//!   ISA hints and the identification-accuracy numbers of Table 1.
+
+pub mod ace;
+pub mod collector;
+pub mod fit;
+pub mod layout;
+pub mod profiler;
+
+pub use ace::{AceAnalyzer, AceInstRecord, Finalized, DEFAULT_ACE_WINDOW};
+pub use collector::{AvfCollector, AvfReport};
+pub use fit::{FitBreakdown, FitModel};
+pub use profiler::{profile_program, ProfileResult};

@@ -1,0 +1,180 @@
+//! Ablation benches for the design choices the paper reports sweeping.
+//!
+//! Each group runs one configuration variant per benchmark id and prints
+//! the *metric* outcome (IQ AVF, IPC) to stderr alongside Criterion's
+//! timing, so `cargo bench ablations` reproduces the paper's sensitivity
+//! arguments:
+//!
+//! * opt1 IPC-region count — "4 regions outperform other number of
+//!   regions";
+//! * `Tcache_miss` — "we performed a sensitivity analysis and choose 16";
+//! * sampling-interval size — "we choose an interval size of 10K cycles";
+//! * DVM trigger fraction — "we set the trigger threshold to 90% of the
+//!   reliability threshold";
+//! * wq_ratio adaptation — slow-increase/rapid-decrease vs static.
+
+use bench::tagged_mix;
+use criterion::{criterion_group, criterion_main, Criterion};
+use iq_reliability::opt1::IplRegionTable;
+use iq_reliability::{DvmController, DvmMode, DynamicIqAllocator, L2MissSensitiveAllocator, VisaIssue};
+use smt_sim::pipeline::PipelinePolicies;
+use smt_sim::{FetchPolicyKind, MachineConfig, Pipeline, SimLimits};
+use std::hint::black_box;
+use std::sync::Arc;
+use workload_gen::Program;
+
+const MEASURE_CYCLES: u64 = 20_000;
+
+fn run_with(
+    programs: &[Arc<Program>],
+    policies: PipelinePolicies,
+    interval: Option<u64>,
+) -> (f64, f64) {
+    let machine = MachineConfig::table2();
+    let mut p = Pipeline::new(machine.clone(), programs.to_vec(), policies);
+    if let Some(iv) = interval {
+        p.set_interval_cycles(iv);
+    }
+    let start = p.warm_up(60_000);
+    let mut col = avf::AvfCollector::standard(&machine).with_start_cycle(start);
+    let r = p.run(SimLimits::cycles(MEASURE_CYCLES), &mut col);
+    (col.report().iq_avf, r.stats.throughput_ipc())
+}
+
+fn ablate_ipc_regions(c: &mut Criterion) {
+    let programs = tagged_mix("MIX-A");
+    let mut g = c.benchmark_group("ablate_opt1_regions");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        g.bench_function(format!("{n}_regions"), |b| {
+            b.iter(|| {
+                let table = if n == 4 {
+                    IplRegionTable::figure3()
+                } else {
+                    IplRegionTable::even_regions(n, 8.0)
+                };
+                let policies = PipelinePolicies {
+                    fetch: FetchPolicyKind::Icount.build(),
+                    issue: Box::new(VisaIssue),
+                    governor: Box::new(DynamicIqAllocator::new(table, 96)),
+                };
+                let (avf, ipc) = run_with(&programs, policies, None);
+                eprintln!("[ablate_opt1_regions/{n}] IQ_AVF={avf:.3} IPC={ipc:.2}");
+                black_box((avf, ipc))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_tcache_miss(c: &mut Criterion) {
+    let programs = tagged_mix("MEM-A");
+    let mut g = c.benchmark_group("ablate_tcache_miss");
+    g.sample_size(10);
+    for t in [4u64, 16, 64] {
+        g.bench_function(format!("T_{t}"), |b| {
+            b.iter(|| {
+                let policies = PipelinePolicies {
+                    fetch: FetchPolicyKind::Icount.build(),
+                    issue: Box::new(VisaIssue),
+                    governor: Box::new(L2MissSensitiveAllocator::new(
+                        IplRegionTable::figure3(),
+                        96,
+                        t,
+                    )),
+                };
+                let (avf, ipc) = run_with(&programs, policies, None);
+                eprintln!("[ablate_tcache_miss/{t}] IQ_AVF={avf:.3} IPC={ipc:.2}");
+                black_box((avf, ipc))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_interval_size(c: &mut Criterion) {
+    let programs = tagged_mix("MIX-B");
+    let mut g = c.benchmark_group("ablate_interval");
+    g.sample_size(10);
+    for iv in [1_000u64, 10_000, 100_000] {
+        g.bench_function(format!("{iv}_cycles"), |b| {
+            b.iter(|| {
+                let policies = PipelinePolicies {
+                    fetch: FetchPolicyKind::Icount.build(),
+                    issue: Box::new(VisaIssue),
+                    governor: Box::new(L2MissSensitiveAllocator::figure4(96)),
+                };
+                let (avf, ipc) = run_with(&programs, policies, Some(iv));
+                eprintln!("[ablate_interval/{iv}] IQ_AVF={avf:.3} IPC={ipc:.2}");
+                black_box((avf, ipc))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_dvm_trigger(c: &mut Criterion) {
+    let programs = tagged_mix("MEM-B");
+    let mut g = c.benchmark_group("ablate_dvm_trigger");
+    g.sample_size(10);
+    for frac in [0.8f64, 0.9, 0.95] {
+        g.bench_function(format!("trigger_{frac}"), |b| {
+            b.iter(|| {
+                let dvm = DvmController::with_params(
+                    0.15,
+                    DvmMode::DynamicRatio,
+                    frac,
+                    5,
+                    10_000,
+                    50,
+                );
+                let policies = PipelinePolicies {
+                    fetch: FetchPolicyKind::Icount.build(),
+                    issue: Box::new(smt_sim::OldestFirst),
+                    governor: Box::new(dvm),
+                };
+                let (avf, ipc) = run_with(&programs, policies, None);
+                eprintln!("[ablate_dvm_trigger/{frac}] IQ_AVF={avf:.3} IPC={ipc:.2}");
+                black_box((avf, ipc))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ablate_wq_adaptation(c: &mut Criterion) {
+    let programs = tagged_mix("MIX-C");
+    let mut g = c.benchmark_group("ablate_wq_ratio");
+    g.sample_size(10);
+    let modes: [(&str, DvmMode); 3] = [
+        ("dynamic", DvmMode::DynamicRatio),
+        ("static_1", DvmMode::StaticRatio(1.0)),
+        ("static_4", DvmMode::StaticRatio(4.0)),
+    ];
+    for (name, mode) in modes {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let dvm = DvmController::new(0.15, mode);
+                let policies = PipelinePolicies {
+                    fetch: FetchPolicyKind::Icount.build(),
+                    issue: Box::new(smt_sim::OldestFirst),
+                    governor: Box::new(dvm),
+                };
+                let (avf, ipc) = run_with(&programs, policies, None);
+                eprintln!("[ablate_wq_ratio/{name}] IQ_AVF={avf:.3} IPC={ipc:.2}");
+                black_box((avf, ipc))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_ipc_regions,
+    ablate_tcache_miss,
+    ablate_interval_size,
+    ablate_dvm_trigger,
+    ablate_wq_adaptation
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Microbenchmarks of the simulator's hot loops.
+//!
+//! These are the costs that dominate experiment campaigns: pipeline
+//! stepping on CPU- vs MEM-bound mixes, the windowed ACE analysis, the
+//! offline profiler, and the cache/predictor substrates.
+
+use bench::{cold_pipeline, tagged_mix};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn pipeline_stepping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_step");
+    g.sample_size(10);
+    for mix in ["CPU-A", "MEM-A"] {
+        let programs = tagged_mix(mix);
+        g.throughput(Throughput::Elements(5_000));
+        g.bench_function(format!("{mix}/5k_cycles"), |b| {
+            b.iter_batched(
+                || {
+                    let mut p = cold_pipeline(&programs);
+                    p.warm_up(50_000);
+                    p
+                },
+                |mut p| {
+                    let mut sink = smt_sim::NullObserver;
+                    for _ in 0..5_000 {
+                        p.step(&mut sink);
+                    }
+                    black_box(p.stats().total_committed())
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn ace_analysis(c: &mut Criterion) {
+    use avf::{AceAnalyzer, AceInstRecord};
+    use workload_gen::{generate_program, model_by_name, ThreadEngine};
+
+    let program = std::sync::Arc::new(generate_program(&model_by_name("gcc").unwrap()));
+    // Pre-capture a committed stream to isolate the analyzer cost.
+    let mut engine = ThreadEngine::new(program, 0);
+    let stream: Vec<AceInstRecord> = (0..100_000u64)
+        .map(|k| {
+            let i = engine.next_correct();
+            AceInstRecord {
+                tid: 0,
+                pc: i.pc,
+                op: i.op,
+                dest: i.dest,
+                srcs: i.srcs,
+                commit_cycle: k,
+            }
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("ace_analysis");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(stream.len() as u64));
+    g.bench_function("100k_commits_40k_window", |b| {
+        b.iter(|| {
+            let mut az: AceAnalyzer<()> = AceAnalyzer::new(1, 40_000);
+            let mut ace = 0u64;
+            let mut count = |f: avf::Finalized<()>| {
+                if f.ace {
+                    ace += 1;
+                }
+            };
+            for rec in &stream {
+                az.push(rec.clone(), (), &mut count);
+            }
+            az.drain(&mut count);
+            black_box(ace)
+        })
+    });
+    g.finish();
+}
+
+fn offline_profiler(c: &mut Criterion) {
+    use workload_gen::{generate_program, model_by_name};
+    let program = std::sync::Arc::new(generate_program(&model_by_name("mcf").unwrap()));
+    let mut g = c.benchmark_group("profiler");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("mcf_100k", |b| {
+        b.iter(|| black_box(avf::profile_program(&program, 100_000, 40_000).accuracy))
+    });
+    g.finish();
+}
+
+fn substrates(c: &mut Criterion) {
+    use branch_pred::BranchPredictor;
+    use mem_hier::MemoryHierarchy;
+    use micro_isa::BranchKind;
+
+    let mut g = c.benchmark_group("substrates");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("dcache_stream_100k", |b| {
+        b.iter_batched(
+            MemoryHierarchy::table2,
+            |mut h| {
+                let mut sum = 0u64;
+                for k in 0..100_000u64 {
+                    sum += h.access_data(0, (k * 64) % (1 << 20)).latency as u64;
+                }
+                black_box(sum)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.bench_function("gshare_predict_train_100k", |b| {
+        b.iter_batched(
+            || BranchPredictor::table2(4),
+            |mut bp| {
+                let mut taken_count = 0u64;
+                for k in 0..100_000u64 {
+                    let pc = k % 512;
+                    let h = bp.history_checkpoint(0);
+                    let p = bp.predict(0, pc, BranchKind::Cond, pc + 1);
+                    if p.taken {
+                        taken_count += 1;
+                    }
+                    bp.resolve(0, pc, BranchKind::Cond, k % 7 != 0, pc + 9, Some(h));
+                }
+                black_box(taken_count)
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn program_generation(c: &mut Criterion) {
+    use workload_gen::{generate_program, model_by_name};
+    let model = model_by_name("gcc").unwrap();
+    c.bench_function("generate_program_gcc", |b| {
+        b.iter(|| black_box(generate_program(&model).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    pipeline_stepping,
+    ace_analysis,
+    offline_profiler,
+    substrates,
+    program_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Branch target buffer: set-associative tag/target store with true-LRU
+//! replacement. Shared by all contexts (Table 2: "2K entries, 4-way").
+
+use micro_isa::Pc;
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: Pc,
+    target: Pc,
+    valid: bool,
+    /// Smaller = more recently used.
+    lru: u8,
+}
+
+/// A set-associative branch target buffer.
+pub struct Btb {
+    sets: usize,
+    assoc: usize,
+    ways: Vec<Way>,
+}
+
+impl Btb {
+    /// `entries` total entries, `assoc`-way set associative. `entries`
+    /// must be a multiple of `assoc` with a power-of-two set count.
+    pub fn new(entries: usize, assoc: usize) -> Btb {
+        assert!(assoc >= 1 && entries >= assoc && entries % assoc == 0);
+        let sets = entries / assoc;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Btb {
+            sets,
+            assoc,
+            ways: vec![
+                Way {
+                    tag: 0,
+                    target: 0,
+                    valid: false,
+                    lru: 0,
+                };
+                entries
+            ],
+        }
+    }
+
+    #[inline]
+    fn set_range(&self, pc: Pc) -> std::ops::Range<usize> {
+        let set = (pc as usize) & (self.sets - 1);
+        let lo = set * self.assoc;
+        lo..lo + self.assoc
+    }
+
+    /// Look up the predicted target for the control instruction at `pc`.
+    /// Hitting refreshes LRU state.
+    pub fn lookup(&mut self, pc: Pc) -> Option<Pc> {
+        let range = self.set_range(pc);
+        let hit = self.ways[range.clone()]
+            .iter()
+            .position(|w| w.valid && w.tag == pc)?;
+        let target = self.ways[range.start + hit].target;
+        self.touch(range, hit);
+        Some(target)
+    }
+
+    /// Install (or refresh) a pc→target mapping, evicting true-LRU.
+    pub fn install(&mut self, pc: Pc, target: Pc) {
+        let range = self.set_range(pc);
+        // Hit: update in place.
+        if let Some(hit) = self.ways[range.clone()]
+            .iter()
+            .position(|w| w.valid && w.tag == pc)
+        {
+            self.ways[range.start + hit].target = target;
+            self.touch(range, hit);
+            return;
+        }
+        // Miss: pick an invalid way, else the LRU way.
+        let victim = self.ways[range.clone()]
+            .iter()
+            .position(|w| !w.valid)
+            .unwrap_or_else(|| {
+                self.ways[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .unwrap()
+            });
+        self.ways[range.start + victim] = Way {
+            tag: pc,
+            target,
+            valid: true,
+            lru: 0,
+        };
+        self.touch(range, victim);
+    }
+
+    /// Age every way in the set and zero the touched way's age.
+    fn touch(&mut self, range: std::ops::Range<usize>, way: usize) {
+        for w in &mut self.ways[range.clone()] {
+            w.lru = w.lru.saturating_add(1);
+        }
+        self.ways[range.start + way].lru = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::new(64, 4);
+        assert_eq!(btb.lookup(100), None);
+        btb.install(100, 555);
+        assert_eq!(btb.lookup(100), Some(555));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut btb = Btb::new(64, 4);
+        btb.install(100, 555);
+        btb.install(100, 777);
+        assert_eq!(btb.lookup(100), Some(777));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        // 4 sets x 2 ways; PCs 0,4,8,12 all map to set 0.
+        let mut btb = Btb::new(8, 2);
+        btb.install(0, 10);
+        btb.install(4, 14);
+        // Touch pc 0 so pc 4 becomes LRU.
+        assert_eq!(btb.lookup(0), Some(10));
+        btb.install(8, 18); // evicts pc 4
+        assert_eq!(btb.lookup(4), None);
+        assert_eq!(btb.lookup(0), Some(10));
+        assert_eq!(btb.lookup(8), Some(18));
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut btb = Btb::new(8, 2);
+        btb.install(0, 10);
+        btb.install(1, 11);
+        btb.install(2, 12);
+        btb.install(3, 13);
+        for pc in 0..4u64 {
+            assert_eq!(btb.lookup(pc), Some(10 + pc));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_sets_rejected() {
+        let _ = Btb::new(12, 4); // 3 sets
+    }
+}

@@ -1,0 +1,158 @@
+//! Gshare direction predictor (McFarling): a table of 2-bit saturating
+//! counters indexed by `PC xor global-history`. Each hardware context has
+//! its own history register and counter table, matching the paper's
+//! "10-bit global history per thread".
+
+use micro_isa::Pc;
+
+/// Two-bit saturating counter states.
+const STRONG_NT: u8 = 0;
+#[allow(dead_code)]
+const WEAK_NT: u8 = 1;
+const WEAK_T: u8 = 2;
+const STRONG_T: u8 = 3;
+
+/// One per-thread gshare predictor.
+pub struct Gshare {
+    history_bits: u32,
+    /// Speculative global history (youngest outcome in bit 0).
+    history: u32,
+    /// 2-bit counters, `2^history_bits` of them.
+    table: Vec<u8>,
+}
+
+impl Gshare {
+    /// `history_bits`-bit global history and a `2^history_bits`-entry
+    /// counter table (the paper uses 10 bits → 1K counters per thread).
+    pub fn new(history_bits: u32) -> Gshare {
+        assert!((1..=20).contains(&history_bits));
+        Gshare {
+            history_bits,
+            history: 0,
+            table: vec![WEAK_T; 1 << history_bits],
+        }
+    }
+
+    #[inline]
+    fn index(&self, pc: Pc) -> usize {
+        let mask = (1u32 << self.history_bits) - 1;
+        ((pc as u32 ^ self.history) & mask) as usize
+    }
+
+    /// Predicted direction for the branch at `pc` under the current
+    /// speculative history.
+    #[inline]
+    pub fn predict(&self, pc: Pc) -> bool {
+        self.table[self.index(pc)] >= WEAK_T
+    }
+
+    /// Shift a *predicted* outcome into the speculative history. Called at
+    /// fetch; undone via [`Self::restore_history`] on squash.
+    #[inline]
+    pub fn push_speculative(&mut self, taken: bool) {
+        let mask = (1u32 << self.history_bits) - 1;
+        self.history = ((self.history << 1) | taken as u32) & mask;
+    }
+
+    /// Train the counter with the actual outcome (at resolve/commit),
+    /// indexing with the *current* speculative history. Prefer
+    /// [`Self::train_with_history`] with the fetch-time history checkpoint;
+    /// this variant exists for callers without one.
+    pub fn train(&mut self, pc: Pc, taken: bool) {
+        self.train_with_history(pc, self.history, taken);
+    }
+
+    /// Train the counter that was consulted at fetch: `fetch_history` is
+    /// the history register value when this branch was predicted. Using
+    /// the fetch-time index is what lets gshare learn history-correlated
+    /// patterns (e.g. alternating or loop-exit branches).
+    pub fn train_with_history(&mut self, pc: Pc, fetch_history: u32, taken: bool) {
+        let mask = (1u32 << self.history_bits) - 1;
+        let idx = ((pc as u32 ^ fetch_history) & mask) as usize;
+        let c = &mut self.table[idx];
+        *c = if taken {
+            (*c + 1).min(STRONG_T)
+        } else {
+            c.saturating_sub(1).max(STRONG_NT)
+        };
+    }
+
+    /// Current speculative history (checkpoint token).
+    #[inline]
+    pub fn history(&self) -> u32 {
+        self.history
+    }
+
+    /// Restore the speculative history after a squash.
+    #[inline]
+    pub fn restore_history(&mut self, ckpt: u32) {
+        self.history = ckpt & ((1u32 << self.history_bits) - 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_saturate_both_directions() {
+        let mut g = Gshare::new(4);
+        for _ in 0..10 {
+            g.train(3, true);
+        }
+        assert!(g.predict(3));
+        for _ in 0..10 {
+            g.train(3, false);
+        }
+        assert!(!g.predict(3));
+    }
+
+    #[test]
+    fn always_taken_branch_predicted_after_warmup() {
+        let mut g = Gshare::new(10);
+        let mut hits = 0;
+        for k in 0..200 {
+            let p = g.predict(77);
+            if k > 20 && p {
+                hits += 1;
+            }
+            g.push_speculative(p);
+            g.train(77, true);
+        }
+        assert!(hits > 170);
+    }
+
+    #[test]
+    fn history_wraps_to_width() {
+        let mut g = Gshare::new(3);
+        for _ in 0..100 {
+            g.push_speculative(true);
+        }
+        assert_eq!(g.history(), 0b111);
+    }
+
+    #[test]
+    fn restore_masks_to_width() {
+        let mut g = Gshare::new(3);
+        g.restore_history(0xffff_ffff);
+        assert_eq!(g.history(), 0b111);
+    }
+
+    #[test]
+    fn alternating_pattern_learned_via_history() {
+        // Period-2 pattern: with history in the index, gshare learns it.
+        let mut g = Gshare::new(10);
+        let mut hits = 0usize;
+        for k in 0..400usize {
+            let actual = k % 2 == 0;
+            let fetch_history = g.history();
+            let p = g.predict(5);
+            if k > 50 && p == actual {
+                hits += 1;
+            }
+            g.push_speculative(actual); // perfect history update
+            g.train_with_history(5, fetch_history, actual);
+        }
+        assert!(hits > 300, "only {hits} hits");
+    }
+}

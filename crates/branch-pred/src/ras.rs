@@ -1,0 +1,102 @@
+//! Return-address stack: a bounded per-thread stack of predicted return
+//! PCs (Table 2: 32 entries per thread). Overflow wraps (oldest entry is
+//! overwritten), underflow predicts nothing — both behaviours match real
+//! hardware and both cause recoverable mispredictions.
+
+use micro_isa::Pc;
+
+/// A bounded return-address stack.
+pub struct Ras {
+    capacity: usize,
+    stack: Vec<Pc>,
+}
+
+impl Ras {
+    pub fn new(capacity: usize) -> Ras {
+        assert!(capacity >= 1);
+        Ras {
+            capacity,
+            stack: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Push a return address at a call. On overflow the *oldest* entry is
+    /// dropped (circular behaviour).
+    pub fn push(&mut self, ret_pc: Pc) {
+        if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(ret_pc);
+    }
+
+    /// Pop the predicted return address at a return.
+    pub fn pop(&mut self) -> Option<Pc> {
+        self.stack.pop()
+    }
+
+    /// Depth currently occupied.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Copy of the live contents, bottom first (checkpoint token).
+    pub fn snapshot(&self) -> Vec<Pc> {
+        self.stack.clone()
+    }
+
+    /// Restore from a checkpoint after a squash.
+    pub fn restore(&mut self, snapshot: &[Pc]) {
+        self.stack.clear();
+        let keep = snapshot.len().min(self.capacity);
+        self.stack
+            .extend_from_slice(&snapshot[snapshot.len() - keep..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = Ras::new(8);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = Ras::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3);
+        assert_eq!(r.depth(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut r = Ras::new(4);
+        r.push(10);
+        r.push(20);
+        let s = r.snapshot();
+        r.pop();
+        r.push(99);
+        r.restore(&s);
+        assert_eq!(r.snapshot(), vec![10, 20]);
+    }
+
+    #[test]
+    fn restore_clamps_to_capacity() {
+        let mut r = Ras::new(2);
+        r.restore(&[1, 2, 3, 4]);
+        assert_eq!(r.snapshot(), vec![3, 4]);
+    }
+}

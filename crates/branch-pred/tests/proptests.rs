@@ -1,0 +1,70 @@
+//! Property tests for the prediction substrate: checkpoint/restore is an
+//! exact inverse, and structures tolerate arbitrary traffic.
+
+use branch_pred::{BranchPredictor, Btb, Ras};
+use micro_isa::BranchKind;
+use proptest::prelude::*;
+
+proptest! {
+    /// RAS snapshot/restore is an exact inverse of any wrong-path damage.
+    #[test]
+    fn ras_restore_inverts_damage(
+        setup in prop::collection::vec(0u64..10_000, 0..16),
+        damage in prop::collection::vec(prop::option::of(0u64..10_000), 0..32),
+    ) {
+        let mut ras = Ras::new(32);
+        for &pc in &setup {
+            ras.push(pc);
+        }
+        let snapshot = ras.snapshot();
+        for d in &damage {
+            match d {
+                Some(pc) => ras.push(*pc),
+                None => {
+                    let _ = ras.pop();
+                }
+            }
+        }
+        ras.restore(&snapshot);
+        prop_assert_eq!(ras.snapshot(), snapshot);
+    }
+
+    /// The BTB always returns the most recently installed target for a
+    /// still-resident PC, and lookups never fabricate targets.
+    #[test]
+    fn btb_returns_latest_install(installs in prop::collection::vec((0u64..64, 0u64..100_000), 1..100)) {
+        let mut btb = Btb::new(256, 4);
+        let mut last: std::collections::HashMap<u64, u64> = Default::default();
+        for &(pc, target) in &installs {
+            btb.install(pc, target);
+            last.insert(pc, target);
+        }
+        // 256 entries, ≤64 distinct PCs: nothing can have been evicted.
+        for (&pc, &target) in &last {
+            prop_assert_eq!(btb.lookup(pc), Some(target));
+        }
+        prop_assert_eq!(btb.lookup(9_999_999), None);
+    }
+
+    /// Predictor state survives arbitrary predict/resolve/recover
+    /// interleavings without panicking, and history checkpoints restore
+    /// exactly.
+    #[test]
+    fn predictor_checkpoint_round_trip(
+        events in prop::collection::vec((0u64..512, prop::bool::ANY, 0u8..4), 1..200),
+    ) {
+        let mut bp = BranchPredictor::table2(4);
+        for &(pc, taken, tid) in &events {
+            let h = bp.history_checkpoint(tid);
+            let r = bp.ras_checkpoint(tid);
+            let _ = bp.predict(tid, pc, BranchKind::Cond, pc + 1);
+            bp.resolve(tid, pc, BranchKind::Cond, taken, pc + 7, Some(h));
+            // Recovery must restore the exact pre-prediction state.
+            bp.recover(tid, h, &r);
+            prop_assert_eq!(bp.history_checkpoint(tid), h);
+            prop_assert_eq!(bp.ras_checkpoint(tid), r);
+            // Re-apply the resolved outcome (as the pipeline does).
+            bp.apply_resolved(tid, BranchKind::Cond, taken, pc + 1);
+        }
+    }
+}

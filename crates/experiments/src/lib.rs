@@ -1,0 +1,40 @@
+//! # `experiments` — the paper's evaluation, one runner per exhibit
+//!
+//! Each module regenerates one table or figure of the ICPP 2008 paper:
+//!
+//! | module | exhibit | content |
+//! |---|---|---|
+//! | [`fig1`] | Figure 1 | per-structure AVF profile (IQ/ROB/RF/FU) by workload group |
+//! | [`fig2`] | Figure 2 | ready-queue-length histogram + per-length ACE share (CPU-A) |
+//! | [`table1`] | Table 1 | PC-based ACE identification accuracy per benchmark |
+//! | [`table2`] | Table 2 | simulated machine configuration |
+//! | [`table3`] | Table 3 | the nine SMT workload mixes |
+//! | [`fig5`] | Figure 5 | normalized IQ AVF and throughput IPC of VISA / +opt1 / +opt2 (ICOUNT) |
+//! | [`fig6`] | Figure 6 | the same under STALL / FLUSH / DG / PDG baselines |
+//! | [`fig8`] | Figures 8 & 9 | DVM PVE and performance at 0.7–0.3 × MaxIQ_AVF (ICOUNT / FLUSH) |
+//! | [`fig10`] | Figure 10 | PVE comparison of all schemes at every threshold |
+//!
+//! All runners share an [`ExperimentContext`]: per-benchmark profiled
+//! (ACE-hint-tagged) programs, standard warmup, and the measurement
+//! budget. Independent simulations fan out across a thread pool sized to
+//! the host ([`parallel::parallel_map`]) — simulations share nothing
+//! mutable, so the fan-out is embarrassingly parallel.
+
+pub mod context;
+pub mod fig1;
+pub mod fig10;
+pub mod fig2;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod parallel;
+pub mod quick;
+pub mod report;
+pub mod runner;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+pub use context::{ExperimentContext, ExperimentParams};
+pub use report::Rendered;
+pub use runner::{run_scheme, RunOutcome};

@@ -1,0 +1,102 @@
+//! CLI: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--fast] [EXHIBIT...]
+//!   EXHIBIT: table1 table2 table3 fig1 fig2 fig5 fig6 fig8 fig9 fig10 all
+//! ```
+//!
+//! With no exhibit arguments, everything runs (`all`). `--fast` uses the
+//! reduced measurement budget (quick sanity pass); the default is the
+//! full budget recorded in EXPERIMENTS.md. `--csv DIR` additionally
+//! writes each exhibit's table as `DIR/<exhibit>.csv`.
+
+use experiments::context::{ExperimentContext, ExperimentParams};
+use experiments::{fig1, fig10, fig2, fig5, fig6, fig8, table1, table2, table3};
+use smt_sim::FetchPolicyKind;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let csv_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    let mut skip_next = false;
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--csv" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(|s| s.as_str())
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "table2", "table3", "table1", "fig1", "fig2", "fig5", "fig6", "fig8", "fig9",
+            "fig10",
+        ];
+    }
+
+    let params = if fast {
+        ExperimentParams::fast()
+    } else {
+        ExperimentParams::full()
+    };
+    let ctx = ExperimentContext::new(params);
+    println!(
+        "# smtsim experiment campaign ({} budget: warmup {} insts, {} measured cycles/run)\n",
+        if fast { "fast" } else { "full" },
+        params.warmup_insts,
+        params.run_cycles
+    );
+
+    let emit = |exhibit: &str, rendered: Vec<experiments::Rendered>| {
+        for (i, r) in rendered.iter().enumerate() {
+            println!("{r}");
+            if let Some(dir) = &csv_dir {
+                let slug = if rendered.len() > 1 {
+                    format!("{exhibit}_{i}")
+                } else {
+                    exhibit.to_string()
+                };
+                match r.write_csv(dir, &slug) {
+                    Ok(path) => println!("  [csv: {}]", path.display()),
+                    Err(e) => eprintln!("  [csv export failed: {e}]"),
+                }
+            }
+        }
+    };
+
+    for exhibit in wanted {
+        let t0 = Instant::now();
+        match exhibit {
+            "table1" => emit("table1", vec![table1::render(&table1::run(&ctx))]),
+            "table2" => emit("table2", vec![table2::render(&ctx.machine)]),
+            "table3" => emit("table3", vec![table3::render()]),
+            "fig1" => emit("fig1", vec![fig1::render(&fig1::run(&ctx))]),
+            "fig2" => emit("fig2", vec![fig2::render(&fig2::run(&ctx))]),
+            "fig5" => emit("fig5", vec![fig5::render(&fig5::run(&ctx))]),
+            "fig6" => emit("fig6", fig6::render(&fig6::run(&ctx))),
+            "fig8" => emit("fig8", vec![fig8::render(&fig8::run(&ctx))]),
+            "fig9" => emit(
+                "fig9",
+                vec![fig8::render(&fig8::run_with_fetch(&ctx, FetchPolicyKind::Flush))],
+            ),
+            "fig10" => emit("fig10", vec![fig10::render(&fig10::run(&ctx))]),
+            other => {
+                eprintln!("unknown exhibit: {other}");
+                std::process::exit(2);
+            }
+        }
+        println!("  [{exhibit} took {:.1?}]\n", t0.elapsed());
+    }
+}

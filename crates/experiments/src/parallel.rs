@@ -1,0 +1,97 @@
+//! Embarrassingly parallel fan-out of independent simulations.
+//!
+//! Simulations share nothing mutable (each owns its pipeline, caches and
+//! collector; the context's program cache is behind a lock and read-heavy),
+//! so experiments fan out with scoped threads: a shared atomic work index
+//! hands out jobs, results land in their input slots, and data-race
+//! freedom follows from `std::thread::scope`'s borrow rules — the idiom
+//! the Rust concurrency guides recommend for fixed work lists. Thread
+//! count adapts to the host (`std::thread::available_parallelism`), so on
+//! a single-core host this degrades gracefully to sequential execution.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every item, in parallel, preserving input order in the
+/// output.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if threads <= 1 {
+        return items.iter().map(|t| f(t)).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    // Hand each worker a disjoint view of the output slots via raw
+    // chunking: each index is written exactly once by the worker that
+    // claimed it from the atomic counter. A Mutex<Vec<Option<R>>> would
+    // also work; per-slot handoff through a channel keeps it lock-free.
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let items = &items;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                // The receiver outlives all senders within the scope.
+                let _ = tx.send((i, r));
+            });
+        }
+        drop(tx);
+        while let Ok((i, r)) = rx.recv() {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed every claimed job"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100u64).collect(), |&x| x * x);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = parallel_map(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn heavy_closure_state_is_shared_immutably() {
+        let table: Vec<u64> = (0..1000).collect();
+        let out = parallel_map((0..50usize).collect(), |&i| table[i * 2]);
+        assert_eq!(out[10], 20);
+    }
+}

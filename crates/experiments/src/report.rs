@@ -1,0 +1,81 @@
+//! Rendered experiment output: a titled table plus prose notes.
+
+use sim_stats::Table;
+
+/// One regenerated exhibit.
+pub struct Rendered {
+    /// e.g. "Figure 5(a): normalized IQ AVF (ICOUNT)".
+    pub title: String,
+    pub table: Table,
+    /// Reading guidance / observed-vs-paper commentary.
+    pub notes: Vec<String>,
+}
+
+impl Rendered {
+    pub fn new(title: impl Into<String>, table: Table) -> Rendered {
+        Rendered {
+            title: title.into(),
+            table,
+            notes: Vec::new(),
+        }
+    }
+
+    pub fn note(mut self, s: impl Into<String>) -> Rendered {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Human-readable block (title, table, notes).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("=== {} ===\n{}", self.title, self.table.render());
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+}
+
+impl Rendered {
+    /// Write the table as CSV to `dir/slug.csv` (creating `dir`).
+    pub fn write_csv(&self, dir: &std::path::Path, slug: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{slug}.csv"));
+        std::fs::write(&path, self.table.to_csv())?;
+        Ok(path)
+    }
+}
+
+impl std::fmt::Display for Rendered {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_export_writes_file() {
+        let mut t = Table::new(vec!["x", "y"]);
+        t.row(vec!["1", "2"]);
+        let r = Rendered::new("T", t);
+        let dir = std::env::temp_dir().join("smtsim-csv-test");
+        let path = r.write_csv(&dir, "t").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("x,y
+"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn renders_title_table_notes() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1"]);
+        let r = Rendered::new("Figure X", t).note("shape matches");
+        let s = r.to_text();
+        assert!(s.contains("=== Figure X ==="));
+        assert!(s.contains("note: shape matches"));
+        assert_eq!(s, r.to_string());
+    }
+}

@@ -1,0 +1,89 @@
+//! Low-level simulation driver shared by every experiment.
+
+use crate::context::ExperimentContext;
+use avf::{AvfCollector, AvfReport};
+use iq_reliability::Scheme;
+use smt_sim::{FetchPolicyKind, Pipeline, SimLimits};
+use workload_gen::WorkloadMix;
+
+/// Everything one simulation produced.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub mix: String,
+    pub scheme: &'static str,
+    pub fetch: FetchPolicyKind,
+    pub avf: AvfReport,
+    pub throughput_ipc: f64,
+    pub harmonic_ipc: f64,
+    pub l2_misses: u64,
+    pub flushes: u64,
+    pub mispredict_rate: f64,
+    pub governor_stall_cycles: u64,
+    /// Average adaptive wq_ratio (DVM runs only).
+    pub dvm_avg_ratio: Option<f64>,
+    pub deadlocked: bool,
+}
+
+/// Run one (mix, scheme, fetch policy) combination under the context's
+/// budget: profile-tagged programs, warmup, then a fixed measured cycle
+/// window with ground-truth AVF collection.
+pub fn run_scheme(
+    ctx: &ExperimentContext,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+) -> RunOutcome {
+    let programs = ctx.mix_programs(mix);
+    let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
+    let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
+    let start = pipeline.warm_up(ctx.params.warmup_insts);
+    let mut collector = AvfCollector::new(&ctx.machine, ctx.params.ace_window, 10_000)
+        .with_start_cycle(start);
+    let result = pipeline.run(SimLimits::cycles(ctx.params.run_cycles), &mut collector);
+    RunOutcome {
+        mix: mix.name.clone(),
+        scheme: scheme.label(),
+        fetch,
+        avf: collector.report(),
+        throughput_ipc: result.stats.throughput_ipc(),
+        harmonic_ipc: result.stats.harmonic_ipc(),
+        l2_misses: result.stats.l2_misses,
+        flushes: result.stats.flushes,
+        mispredict_rate: result.stats.mispredict_rate(),
+        governor_stall_cycles: result.stats.governor_stall_cycles,
+        dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
+        deadlocked: result.deadlocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::ExperimentParams;
+
+    #[test]
+    fn baseline_run_completes_and_reports() {
+        let ctx = ExperimentContext::new(ExperimentParams::fast());
+        let mix = workload_gen::mix_by_name("CPU-A").unwrap();
+        let out = run_scheme(&ctx, &mix, Scheme::Baseline, FetchPolicyKind::Icount);
+        assert!(!out.deadlocked);
+        assert!(out.throughput_ipc > 0.5);
+        assert!(out.avf.iq_avf > 0.0 && out.avf.iq_avf < 1.0);
+        assert!(out.dvm_avg_ratio.is_none());
+        assert_eq!(out.mix, "CPU-A");
+    }
+
+    #[test]
+    fn dvm_run_exposes_ratio_telemetry() {
+        let ctx = ExperimentContext::new(ExperimentParams::fast());
+        let mix = workload_gen::mix_by_name("MEM-A").unwrap();
+        let out = run_scheme(
+            &ctx,
+            &mix,
+            Scheme::DvmDynamic { target: 0.15 },
+            FetchPolicyKind::Icount,
+        );
+        assert!(!out.deadlocked);
+        assert!(out.dvm_avg_ratio.unwrap() > 0.0);
+    }
+}

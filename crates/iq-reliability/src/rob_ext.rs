@@ -1,0 +1,180 @@
+//! Extension: ROB vulnerability management.
+//!
+//! The paper closes with "we believe our technique could be extended to
+//! other microarchitecture structures". This module implements that
+//! direction for the reorder buffer, in the spirit of Soundararajan et
+//! al.'s dispatch-stall mechanism for bounding ROB vulnerability
+//! (ISCA 2007): a dispatch governor that caps the number of ACE-hinted
+//! instructions each thread may hold in its ROB.
+//!
+//! Rationale: a ROB entry's vulnerable lifetime runs from dispatch to
+//! commit — under a long-latency head-of-line instruction, completed ACE
+//! instructions pile up behind it, exposed. Capping the *hinted*
+//! occupancy per thread bounds exactly that accumulation, with un-ACE
+//! instructions left free to fill the machine (the same asymmetry VISA
+//! and DVM exploit).
+//!
+//! The governor composes with the IQ-side mechanisms: see
+//! [`ComposedGovernor`] for running it alongside opt1/opt2/DVM.
+
+use micro_isa::ThreadId;
+use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
+
+/// Cap on ACE-hinted ROB occupancy per thread.
+pub struct RobVulnGovernor {
+    /// Maximum hinted instructions a thread may hold in its ROB.
+    pub max_ace_per_thread: usize,
+    denied: u64,
+}
+
+impl RobVulnGovernor {
+    /// A cap expressed as a fraction of the per-thread ROB size (the
+    /// natural configuration: `with_cap_fraction(&machine, 0.25)` bounds
+    /// hinted occupancy to a quarter of each ROB).
+    pub fn with_cap_fraction(rob_size: usize, fraction: f64) -> RobVulnGovernor {
+        assert!((0.0..=1.0).contains(&fraction));
+        RobVulnGovernor {
+            max_ace_per_thread: ((rob_size as f64 * fraction) as usize).max(1),
+            denied: 0,
+        }
+    }
+
+    pub fn denied(&self) -> u64 {
+        self.denied
+    }
+}
+
+impl DispatchGovernor for RobVulnGovernor {
+    fn name(&self) -> &'static str {
+        "rob-vulnerability-cap"
+    }
+
+    fn allow_dispatch(&mut self, view: &GovernorView, tid: ThreadId) -> bool {
+        // Conservative: the instruction at the head of the fetch queue
+        // may or may not be hinted; denying at the cap bounds the
+        // worst case. Un-hinted dispatch resumes as soon as hinted
+        // instructions commit.
+        let over = view
+            .threads
+            .get(tid as usize)
+            .map(|t| t.rob_ace >= self.max_ace_per_thread)
+            .unwrap_or(false);
+        if over {
+            self.denied += 1;
+        }
+        !over
+    }
+}
+
+/// Run two dispatch governors in conjunction: dispatch is granted only
+/// if both agree; lifecycle hooks fan out to both.
+pub struct ComposedGovernor<A, B> {
+    pub first: A,
+    pub second: B,
+}
+
+impl<A: DispatchGovernor, B: DispatchGovernor> DispatchGovernor for ComposedGovernor<A, B> {
+    fn name(&self) -> &'static str {
+        "composed"
+    }
+
+    fn begin_cycle(&mut self, view: &GovernorView) {
+        self.first.begin_cycle(view);
+        self.second.begin_cycle(view);
+    }
+
+    fn on_interval(&mut self, snapshot: &IntervalSnapshot, view: &GovernorView) {
+        self.first.on_interval(snapshot, view);
+        self.second.on_interval(snapshot, view);
+    }
+
+    fn allow_dispatch(&mut self, view: &GovernorView, tid: ThreadId) -> bool {
+        // Evaluate both (no short-circuit) so each keeps its telemetry
+        // and adaptation consistent.
+        let a = self.first.allow_dispatch(view, tid);
+        let b = self.second.allow_dispatch(view, tid);
+        a && b
+    }
+
+    fn on_l2_miss(&mut self, tid: ThreadId) {
+        self.first.on_l2_miss(tid);
+        self.second.on_l2_miss(tid);
+    }
+
+    fn flush_override(&self) -> bool {
+        self.first.flush_override() || self.second.flush_override()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_sim::dispatch::ThreadView;
+    use smt_sim::UnlimitedDispatch;
+
+    fn view_with_rob_ace<'a>(
+        threads: &'a [ThreadView],
+        last: &'a IntervalSnapshot,
+    ) -> GovernorView<'a> {
+        GovernorView {
+            now: 0,
+            iq_size: 96,
+            iq_len: 0,
+            ready_len: 0,
+            waiting_len: 0,
+            last_interval: last,
+            interval_hint_bits: 0,
+            interval_cycles: 0,
+            threads,
+        }
+    }
+
+    fn thread(tid: u8, rob_ace: usize) -> ThreadView {
+        ThreadView {
+            tid,
+            fetch_queue_len: 0,
+            fetch_queue_ace: 0,
+            l2_pending: 0,
+            l1d_pending: 0,
+            flush_blocked: false,
+            in_flight: 0,
+            iq_occupancy: 0,
+            rob_ace,
+        }
+    }
+
+    #[test]
+    fn cap_blocks_only_over_limit_threads() {
+        let mut g = RobVulnGovernor::with_cap_fraction(96, 0.25); // cap 24
+        assert_eq!(g.max_ace_per_thread, 24);
+        let last = IntervalSnapshot::default();
+        let threads = [thread(0, 30), thread(1, 10)];
+        let v = view_with_rob_ace(&threads, &last);
+        assert!(!g.allow_dispatch(&v, 0));
+        assert!(g.allow_dispatch(&v, 1));
+        assert_eq!(g.denied(), 1);
+    }
+
+    #[test]
+    fn cap_fraction_clamps_to_at_least_one() {
+        let g = RobVulnGovernor::with_cap_fraction(96, 0.0);
+        assert_eq!(g.max_ace_per_thread, 1);
+    }
+
+    #[test]
+    fn composition_requires_both_to_agree() {
+        let rob = RobVulnGovernor::with_cap_fraction(96, 0.25);
+        let mut g = ComposedGovernor {
+            first: UnlimitedDispatch,
+            second: rob,
+        };
+        let last = IntervalSnapshot::default();
+        let threads = [thread(0, 30)];
+        let v = view_with_rob_ace(&threads, &last);
+        assert!(!g.allow_dispatch(&v, 0), "ROB cap must veto");
+        let threads = [thread(0, 3)];
+        let v = view_with_rob_ace(&threads, &last);
+        assert!(g.allow_dispatch(&v, 0));
+        assert!(!g.flush_override());
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the paper's mechanisms: VISA's bypass invariant,
+//! the Figure 3 allocation algebra, and DVM's ratio adaptation bounds.
+
+use iq_reliability::opt1::IplRegionTable;
+use iq_reliability::{DvmController, DvmMode, VisaIssue};
+use micro_isa::OpClass;
+use proptest::prelude::*;
+use smt_sim::dispatch::{DispatchGovernor, ThreadView};
+use smt_sim::issue::{IssuePolicy, ReadyInst};
+use smt_sim::{GovernorView, IntervalSnapshot};
+
+fn arb_ready() -> impl Strategy<Value = Vec<ReadyInst>> {
+    prop::collection::vec((0u64..100_000, prop::bool::ANY), 0..64).prop_map(|items| {
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(i, (seq, ace))| ReadyInst {
+                id: i,
+                seq: seq * 64 + i as u64,
+                tid: (i % 4) as u8,
+                op: OpClass::IAlu,
+                ace_hint: ace,
+                wrong_path: false,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// THE VISA INVARIANT (paper Section 2.1): no ready un-ACE
+    /// instruction may be ordered before any ready ACE instruction, and
+    /// both classes preserve program (age) order internally.
+    #[test]
+    fn visa_never_orders_unace_before_ace(ready in arb_ready()) {
+        let mut v = ready.clone();
+        VisaIssue.prioritize(&mut v);
+        let first_unace = v.iter().position(|r| !r.ace_hint).unwrap_or(v.len());
+        for (i, r) in v.iter().enumerate() {
+            if i >= first_unace {
+                prop_assert!(!r.ace_hint, "ACE inst after an un-ACE inst");
+            }
+        }
+        for w in v[..first_unace].windows(2) {
+            prop_assert!(w[0].seq <= w[1].seq, "ACE class out of program order");
+        }
+        for w in v[first_unace..].windows(2) {
+            prop_assert!(w[0].seq <= w[1].seq, "un-ACE class out of program order");
+        }
+        // Permutation check.
+        let mut a: Vec<u64> = ready.iter().map(|r| r.seq).collect();
+        let mut b: Vec<u64> = v.iter().map(|r| r.seq).collect();
+        a.sort_unstable(); b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Figure 3 algebra: IQL is monotone in RQL, bounded by the static
+    /// cap, and the caps themselves are monotone in the IPC band.
+    #[test]
+    fn figure3_iql_is_monotone_and_bounded(
+        ipc in 0.0f64..8.0,
+        rql_lo in 0.0f64..48.0,
+        delta in 0.0f64..48.0,
+        iq_size in 16usize..256,
+    ) {
+        let t = IplRegionTable::figure3();
+        let lo = t.iql(ipc, rql_lo, iq_size);
+        let hi = t.iql(ipc, rql_lo + delta, iq_size);
+        prop_assert!(hi >= lo, "IQL not monotone in RQL");
+        prop_assert!(lo >= 1 && hi <= iq_size);
+        // Band caps: a higher IPC band never yields a *smaller* cap at
+        // saturating RQL.
+        let cap_here = t.iql(ipc, 1e9, iq_size);
+        let cap_up = t.iql((ipc + 2.0).min(8.0), 1e9, iq_size);
+        prop_assert!(cap_up >= cap_here);
+    }
+
+    /// DVM's adaptive ratio stays within its configured bounds through
+    /// any sequence of hot/cold samples, and only moves in the direction
+    /// the sample dictates.
+    #[test]
+    fn dvm_ratio_bounded_and_directional(samples in prop::collection::vec(prop::bool::ANY, 1..100)) {
+        let mut dvm = DvmController::new(0.3, DvmMode::DynamicRatio);
+        let last = IntervalSnapshot::default();
+        let threads = [ThreadView {
+            tid: 0,
+            fetch_queue_len: 4,
+            fetch_queue_ace: 1,
+            l2_pending: 0,
+            l1d_pending: 0,
+            flush_blocked: false,
+            in_flight: 0,
+            iq_occupancy: 0,
+            rob_ace: 0,
+        }];
+        let total_bits = 96u64 * smt_sim::layout::IQ_ENTRY_BITS as u64;
+        for (i, hot) in samples.iter().enumerate() {
+            let before = dvm.current_ratio();
+            // Hot sample: estimate 0.9 (over trigger 0.27); cold: 0.
+            let est = if *hot { 0.9 } else { 0.0 };
+            let cycles = 2_000u64 * (i as u64 + 1);
+            let view = GovernorView {
+                now: 2_000 * (i as u64 + 1),
+                iq_size: 96,
+                iq_len: 50,
+                ready_len: 10,
+                waiting_len: 40,
+                last_interval: &last,
+                interval_hint_bits: (est * (cycles * total_bits) as f64) as u64,
+                interval_cycles: cycles,
+                threads: &threads,
+            };
+            dvm.begin_cycle(&view);
+            let after = dvm.current_ratio();
+            prop_assert!((0.25..=8.0).contains(&after), "ratio {after} out of bounds");
+            if *hot {
+                prop_assert!(after <= before, "hot sample must not raise the ratio");
+            } else {
+                prop_assert!(after >= before, "cold sample must not lower the ratio");
+            }
+        }
+    }
+}

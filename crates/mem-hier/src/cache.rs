@@ -1,0 +1,291 @@
+//! Set-associative cache with true-LRU replacement.
+//!
+//! Tag-only (no data payload): the simulator needs hit/miss timing, not
+//! values — the functional front end already resolves all values. Sets are
+//! stored as a flat `Vec` of ways for locality; LRU is an 8-bit age per
+//! way (saturating), which is exact for associativities ≤ 255.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    pub size_bytes: u64,
+    pub assoc: usize,
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    pub fn num_sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes) as usize / self.assoc
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() {
+            return Err("line size must be a power of two".into());
+        }
+        if self.assoc == 0 || self.size_bytes == 0 {
+            return Err("zero size or associativity".into());
+        }
+        let lines = self.size_bytes / self.line_bytes;
+        if lines % self.assoc as u64 != 0 {
+            return Err("lines not divisible by associativity".into());
+        }
+        let sets = lines / self.assoc as u64;
+        if !sets.is_power_of_two() {
+            return Err(format!("set count {sets} not a power of two"));
+        }
+        Ok(())
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub accesses: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    lru: u8,
+}
+
+/// One level of tag-only set-associative cache.
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    set_mask: u64,
+    line_shift: u32,
+    ways: Vec<Way>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    pub fn new(config: CacheConfig) -> Cache {
+        config.validate().expect("invalid cache config");
+        let sets = config.num_sets();
+        Cache {
+            config,
+            sets,
+            set_mask: sets as u64 - 1,
+            line_shift: config.line_bytes.trailing_zeros(),
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    lru: 0,
+                };
+                sets * config.assoc
+            ],
+            stats: CacheStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> (std::ops::Range<usize>, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let tag = line >> self.sets.trailing_zeros();
+        let lo = set * self.config.assoc;
+        (lo..lo + self.config.assoc, tag)
+    }
+
+    /// Access `addr`; allocate on miss (write-allocate for both reads and
+    /// writes). Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let (range, tag) = self.locate(addr);
+        if let Some(hit) = self.ways[range.clone()]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+        {
+            self.touch(range, hit);
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = self.ways[range.clone()]
+            .iter()
+            .position(|w| !w.valid)
+            .unwrap_or_else(|| {
+                self.ways[range.clone()]
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .unwrap()
+            });
+        self.ways[range.start + victim] = Way {
+            tag,
+            valid: true,
+            lru: 0,
+        };
+        self.touch(range, victim);
+        false
+    }
+
+    /// Non-allocating probe (no stats, no LRU update).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (range, tag) = self.locate(addr);
+        self.ways[range].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    fn touch(&mut self, range: std::ops::Range<usize>, way: usize) {
+        for w in &mut self.ways[range.clone()] {
+            w.lru = w.lru.saturating_add(1);
+        }
+        self.ways[range.start + way].lru = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 16B lines = 128 B.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x40));
+        assert!(c.access(0x40));
+        assert!(c.access(0x4f), "same line");
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().accesses, 3);
+    }
+
+    #[test]
+    fn distinct_lines_miss_independently() {
+        let mut c = small();
+        assert!(!c.access(0x00));
+        assert!(!c.access(0x10));
+        assert!(c.access(0x00));
+        assert!(c.access(0x10));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Set 0 lines: addresses with line index ≡ 0 mod 4: 0x00, 0x40, 0x80.
+        c.access(0x00);
+        c.access(0x40);
+        c.access(0x00); // 0x40 now LRU
+        c.access(0x80); // evicts 0x40
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x40));
+        assert!(c.probe(0x80));
+    }
+
+    #[test]
+    fn probe_does_not_perturb() {
+        let mut c = small();
+        c.access(0x00);
+        let s = c.stats();
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x999));
+        assert_eq!(c.stats(), s);
+    }
+
+    #[test]
+    fn table2_geometries_valid() {
+        for (size, assoc, line) in [
+            (32 * 1024u64, 2usize, 32u64),  // L1I
+            (64 * 1024, 4, 64),             // L1D
+            (2 * 1024 * 1024, 4, 128),      // L2
+        ] {
+            CacheConfig {
+                size_bytes: size,
+                assoc,
+                line_bytes: line,
+                hit_latency: 1,
+            }
+            .validate()
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = small(); // 128 B
+        let mut misses = 0;
+        // Stream 4 KB repeatedly: everything should miss after warmup.
+        for round in 0..4 {
+            for addr in (0..4096u64).step_by(16) {
+                if !c.access(addr) && round > 0 {
+                    misses += 1;
+                }
+            }
+        }
+        assert_eq!(misses, 3 * 256, "LRU must thrash on a streaming loop");
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CacheConfig {
+            size_bytes: 100,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 128,
+            assoc: 0,
+            line_bytes: 16,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+        assert!(CacheConfig {
+            size_bytes: 96,
+            assoc: 2,
+            line_bytes: 16,
+            hit_latency: 1
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = small();
+        c.access(0);
+        c.access(0);
+        assert!((c.stats().miss_rate() - 0.5).abs() < 1e-12);
+        let empty = CacheStats::default();
+        assert_eq!(empty.miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # `mem-hier` — cache and memory substrate
+//!
+//! The paper's mechanisms are driven by memory behaviour: L2 misses clog
+//! the issue queue with waiting instructions (raising AVF), trigger the
+//! FLUSH fetch policy inside opt2, and fire the DVM response mechanism.
+//! This crate models the Table 2 hierarchy:
+//!
+//! | structure | geometry | latency |
+//! |---|---|---|
+//! | L1 I-cache | 32 KB, 2-way, 32 B lines, 2 ports | 1 cycle |
+//! | L1 D-cache | 64 KB, 4-way, 64 B lines, 2 ports | 1 cycle |
+//! | unified L2 | 2 MB, 4-way, 128 B lines | 12 cycles |
+//! | memory | — | 200 cycles |
+//! | ITLB | 128 entries, 4-way | 200-cycle miss |
+//! | DTLB | 256 entries, 4-way | 200-cycle miss |
+//!
+//! Caches are set-associative with true LRU ([`Cache`]); TLBs reuse the
+//! same engine over page numbers ([`Tlb`]). [`MemoryHierarchy`] composes
+//! them and returns, per access, the end-to-end latency plus which levels
+//! missed — the flags the pipeline's policies key on.
+
+pub mod cache;
+pub mod hierarchy;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use hierarchy::{AccessResult, HierarchyConfig, HierarchyStats, MemoryHierarchy};
+pub use tlb::Tlb;

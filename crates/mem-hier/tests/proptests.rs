@@ -1,0 +1,118 @@
+//! Property tests for the cache substrate: fundamental cache invariants
+//! over arbitrary access sequences and geometries.
+
+use mem_hier::{Cache, CacheConfig, MemoryHierarchy, Tlb};
+use proptest::prelude::*;
+
+fn arb_geometry() -> impl Strategy<Value = CacheConfig> {
+    // sets ∈ {1..=64} pow2, assoc ∈ 1..=8, line ∈ {16,32,64,128}
+    (0u32..7, 1usize..=8, prop::sample::select(vec![16u64, 32, 64, 128])).prop_map(
+        |(set_pow, assoc, line)| {
+            let sets = 1u64 << set_pow;
+            CacheConfig {
+                size_bytes: sets * assoc as u64 * line,
+                assoc,
+                line_bytes: line,
+                hit_latency: 1,
+            }
+        },
+    )
+}
+
+proptest! {
+    /// Immediately re-accessing any address always hits, for any
+    /// geometry and any prior access sequence.
+    #[test]
+    fn reaccess_always_hits(
+        config in arb_geometry(),
+        addrs in prop::collection::vec(0u64..(1 << 24), 1..200),
+    ) {
+        let mut cache = Cache::new(config);
+        for &a in &addrs {
+            cache.access(a);
+            prop_assert!(cache.probe(a), "just-accessed line missing: {a:#x}");
+            prop_assert!(cache.access(a), "immediate re-access missed: {a:#x}");
+        }
+    }
+
+    /// A working set no larger than one set's associativity never
+    /// conflicts: after one warmup round, everything hits forever.
+    #[test]
+    fn within_associativity_never_evicts(
+        config in arb_geometry(),
+        rounds in 2usize..6,
+    ) {
+        let mut cache = Cache::new(config);
+        // One address per way of set 0.
+        let sets = config.num_sets() as u64;
+        let addrs: Vec<u64> = (0..config.assoc as u64)
+            .map(|w| w * sets * config.line_bytes)
+            .collect();
+        for &a in &addrs {
+            cache.access(a);
+        }
+        for _ in 0..rounds {
+            for &a in &addrs {
+                prop_assert!(cache.access(a), "conflict within associativity");
+            }
+        }
+    }
+
+    /// Miss count never exceeds access count, and the counters add up.
+    #[test]
+    fn stats_are_consistent(
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..300),
+    ) {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 4096,
+            assoc: 2,
+            line_bytes: 32,
+            hit_latency: 1,
+        });
+        let mut hits = 0u64;
+        for &a in &addrs {
+            if cache.access(a) {
+                hits += 1;
+            }
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert_eq!(s.accesses - s.misses, hits);
+        prop_assert!(s.miss_rate() <= 1.0);
+    }
+
+    /// TLB translations are page-granular: all addresses within one page
+    /// behave identically after first touch.
+    #[test]
+    fn tlb_is_page_granular(page in 0u64..4096, offsets in prop::collection::vec(0u64..8192, 1..32)) {
+        let mut tlb = Tlb::new(64, 4, 200);
+        let base = page * 8192;
+        let first = tlb.translate(base + offsets[0] % 8192);
+        prop_assert!(first == 0 || first == 200);
+        for &o in &offsets {
+            prop_assert_eq!(tlb.translate(base + (o % 8192)), 0, "same page must hit");
+        }
+    }
+
+    /// The composed hierarchy never returns a latency below the L1 hit
+    /// latency nor above the full miss chain, and flags are consistent.
+    #[test]
+    fn hierarchy_latency_bounds(
+        tid in 0u8..4,
+        addrs in prop::collection::vec(0u64..(1u64 << 26), 1..200),
+    ) {
+        let mut h = MemoryHierarchy::table2();
+        let max = 200 + 1 + 12 + 200; // TLB walk + L1 + L2 + memory
+        for &a in &addrs {
+            let r = h.access_data(tid, a);
+            prop_assert!(r.latency >= 1 && r.latency <= max, "latency {}", r.latency);
+            if r.l2_miss {
+                prop_assert!(r.l1_miss, "L2 miss implies L1 miss");
+            }
+            if !r.l1_miss {
+                // Pure L1 hit may still pay a TLB walk.
+                prop_assert!(r.latency == 1 || r.latency == 201);
+            }
+        }
+    }
+}

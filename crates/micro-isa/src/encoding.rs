@@ -1,0 +1,208 @@
+//! Binary instruction encoding and the bit layout used for AVF accounting.
+//!
+//! The paper computes AVF at *bit* granularity: an issue-queue entry is a
+//! vector of latches, and only some of them hold architecturally required
+//! state at a given moment. This module pins down the 64-bit instruction
+//! word all structures store, with named fields so the `avf` crate can
+//! attach per-field ACE semantics:
+//!
+//! ```text
+//!  63        27 26    20 19    13 12     6  5        4..0
+//! +------------+--------+--------+--------+---+---------+
+//! | immediate  |  src1  |  src0  |  dest  |ACE| opcode  |
+//! |  (37 bits) |(7 bits)|(7 bits)|(7 bits)|bit|(5 bits) |
+//! +------------+--------+--------+--------+---+---------+
+//! ```
+//!
+//! Operand fields are 7 bits: a valid bit plus a 6-bit register name
+//! (class + number). The immediate holds the low 37 bits of a branch
+//! target or memory base — enough for the synthetic address spaces the
+//! workload generator emits.
+//!
+//! The encoding is *architecturally lossy* for the simulator-only parts of
+//! a [`StaticInst`] (address-pattern shape, branch trip counts): those are
+//! trace-generation metadata, not machine state, and therefore carry no
+//! soft-error vulnerability.
+
+use crate::{OpClass, Reg, StaticInst};
+
+/// Width of the encoded instruction word in bits.
+pub const ENCODED_BITS: u32 = 64;
+
+/// Bit offset/width of each field (LSB-first).
+pub mod fields {
+    /// Opcode: bits 0..=4.
+    pub const OPCODE_LO: u32 = 0;
+    pub const OPCODE_BITS: u32 = 5;
+    /// ACE-ness hint (the paper's ISA extension): bit 5.
+    pub const ACE_BIT: u32 = 5;
+    /// Destination operand (valid bit + 6-bit reg): bits 6..=12.
+    pub const DEST_LO: u32 = 6;
+    /// First source operand: bits 13..=19.
+    pub const SRC0_LO: u32 = 13;
+    /// Second source operand: bits 20..=26.
+    pub const SRC1_LO: u32 = 20;
+    /// Operand field width.
+    pub const OPERAND_BITS: u32 = 7;
+    /// Immediate / displacement: bits 27..=63.
+    pub const IMM_LO: u32 = 27;
+    pub const IMM_BITS: u32 = 37;
+}
+
+/// An encoded 64-bit instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedInst(pub u64);
+
+/// The architectural fields recovered by decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedFields {
+    pub op: OpClass,
+    pub ace_hint: bool,
+    pub dest: Option<Reg>,
+    pub srcs: [Option<Reg>; 2],
+    pub imm: u64,
+}
+
+fn encode_operand(reg: Option<Reg>) -> u64 {
+    match reg {
+        Some(r) => 0x40 | r.encode6() as u64, // bit 6 = valid
+        None => 0,
+    }
+}
+
+fn decode_operand(bits: u64) -> Option<Reg> {
+    if bits & 0x40 != 0 {
+        Some(Reg::decode6((bits & 0x3f) as u8))
+    } else {
+        None
+    }
+}
+
+impl EncodedInst {
+    /// Encode the architectural fields of a static instruction.
+    ///
+    /// The immediate slot carries the branch target for control ops and
+    /// the low bits of the address-pattern base for memory ops.
+    pub fn encode(inst: &StaticInst) -> EncodedInst {
+        use fields::*;
+        let imm: u64 = if let Some(b) = &inst.branch {
+            b.target & ((1u64 << IMM_BITS) - 1)
+        } else if let Some(m) = &inst.mem {
+            let base = match *m {
+                crate::AddressPattern::Stride { base, .. } => base,
+                crate::AddressPattern::Scatter { base, .. } => base,
+                crate::AddressPattern::Fixed { addr } => addr,
+            };
+            base & ((1u64 << IMM_BITS) - 1)
+        } else {
+            0
+        };
+        let word = (inst.op.opcode() as u64) << OPCODE_LO
+            | (inst.ace_hint as u64) << ACE_BIT
+            | encode_operand(inst.dest) << DEST_LO
+            | encode_operand(inst.srcs[0]) << SRC0_LO
+            | encode_operand(inst.srcs[1]) << SRC1_LO
+            | imm << IMM_LO;
+        EncodedInst(word)
+    }
+
+    /// Decode the architectural fields. Returns `None` on an invalid
+    /// opcode (which a real machine would trap on).
+    pub fn decode(self) -> Option<DecodedFields> {
+        use fields::*;
+        let w = self.0;
+        let op = OpClass::from_opcode(((w >> OPCODE_LO) & ((1 << OPCODE_BITS) - 1)) as u8)?;
+        Some(DecodedFields {
+            op,
+            ace_hint: (w >> ACE_BIT) & 1 != 0,
+            dest: decode_operand((w >> DEST_LO) & ((1 << OPERAND_BITS) - 1)),
+            srcs: [
+                decode_operand((w >> SRC0_LO) & ((1 << OPERAND_BITS) - 1)),
+                decode_operand((w >> SRC1_LO) & ((1 << OPERAND_BITS) - 1)),
+            ],
+            imm: (w >> IMM_LO) & ((1u64 << IMM_BITS) - 1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddressPattern, BranchInfo, BranchKind, BranchSem};
+
+    #[test]
+    fn fields_tile_the_word_exactly() {
+        use fields::*;
+        assert_eq!(ACE_BIT, OPCODE_LO + OPCODE_BITS);
+        assert_eq!(DEST_LO, ACE_BIT + 1);
+        assert_eq!(SRC0_LO, DEST_LO + OPERAND_BITS);
+        assert_eq!(SRC1_LO, SRC0_LO + OPERAND_BITS);
+        assert_eq!(IMM_LO, SRC1_LO + OPERAND_BITS);
+        assert_eq!(IMM_LO + IMM_BITS, ENCODED_BITS);
+    }
+
+    #[test]
+    fn compute_round_trips() {
+        let mut inst = StaticInst::compute(
+            0x123,
+            OpClass::IMul,
+            Some(Reg::int(7)),
+            [Some(Reg::int(1)), Some(Reg::fp(2))],
+        );
+        inst.ace_hint = true;
+        let d = EncodedInst::encode(&inst).decode().unwrap();
+        assert_eq!(d.op, OpClass::IMul);
+        assert!(d.ace_hint);
+        assert_eq!(d.dest, Some(Reg::int(7)));
+        assert_eq!(d.srcs, [Some(Reg::int(1)), Some(Reg::fp(2))]);
+    }
+
+    #[test]
+    fn branch_target_survives() {
+        let inst = StaticInst::control(
+            0x50,
+            OpClass::CondBranch,
+            Some(Reg::int(4)),
+            BranchInfo {
+                kind: BranchKind::Cond,
+                target: 0xabcd,
+                sem: BranchSem::Biased { taken_prob: 0.5 },
+            },
+        );
+        let d = EncodedInst::encode(&inst).decode().unwrap();
+        assert_eq!(d.imm, 0xabcd);
+        assert_eq!(d.op, OpClass::CondBranch);
+    }
+
+    #[test]
+    fn memory_base_survives() {
+        let inst = StaticInst::load(
+            0x60,
+            Reg::fp(9),
+            Some(Reg::int(3)),
+            AddressPattern::Stride {
+                base: 0x4000,
+                stride: 8,
+                span: 1024,
+            },
+        );
+        let d = EncodedInst::encode(&inst).decode().unwrap();
+        assert_eq!(d.imm, 0x4000);
+        assert_eq!(d.dest, Some(Reg::fp(9)));
+        assert_eq!(d.srcs[0], Some(Reg::int(3)));
+    }
+
+    #[test]
+    fn missing_operands_decode_as_none() {
+        let d = EncodedInst::encode(&StaticInst::nop(0)).decode().unwrap();
+        assert_eq!(d.op, OpClass::Nop);
+        assert_eq!(d.dest, None);
+        assert_eq!(d.srcs, [None, None]);
+        assert!(!d.ace_hint);
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        assert!(EncodedInst(31).decode().is_none()); // opcode 31 undefined
+    }
+}

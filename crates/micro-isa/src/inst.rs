@@ -1,0 +1,356 @@
+//! Static instructions (program text) and dynamic instances (pipeline
+//! payload).
+
+use crate::{AddressPattern, OpClass, Pc, Reg, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Control-transfer kind, as seen by the branch predictor front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// Conditional direct branch.
+    Cond,
+    /// Unconditional direct jump.
+    Jump,
+    /// Call: unconditional, pushes the return-address stack.
+    Call,
+    /// Return: indirect through the return-address stack.
+    Ret,
+}
+
+/// Deterministic branch semantics of a *static* control instruction.
+///
+/// Outcomes must be a pure function of the per-instruction execution index
+/// so that squash-and-replay (branch recovery, FLUSH rollback) regenerates
+/// the identical dynamic stream.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BranchSem {
+    /// A loop back edge with a fixed trip count: taken on executions
+    /// `k` with `k % trip != trip - 1`, falls through on every `trip`-th.
+    LoopBack { trip: u32 },
+    /// Data-dependent branch modelled as a biased pseudo-random coin,
+    /// hashed from the execution index (deterministic, replayable).
+    Biased { taken_prob: f32 },
+    /// Unconditional (jumps and calls).
+    Always,
+    /// Return: target comes from the software call stack maintained by
+    /// the workload engine.
+    Return,
+}
+
+/// Static description of one control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BranchInfo {
+    pub kind: BranchKind,
+    /// Taken target PC (ignored for `Ret`, whose target is dynamic).
+    pub target: Pc,
+    pub sem: BranchSem,
+}
+
+impl BranchInfo {
+    /// Resolve the outcome of the `k`-th dynamic execution.
+    /// `Ret` outcomes cannot be resolved here (they need the call stack);
+    /// callers handle returns separately.
+    #[inline]
+    pub fn outcome(&self, k: u64, pc: Pc) -> bool {
+        match self.sem {
+            BranchSem::LoopBack { trip } => {
+                let t = trip.max(1) as u64;
+                k % t != t - 1
+            }
+            BranchSem::Biased { taken_prob } => {
+                // Hash (k, pc) to a uniform [0,1) sample; same finalizer as
+                // AddressPattern::Scatter so the whole ISA shares one
+                // deterministic randomness primitive.
+                let mut z = k
+                    .wrapping_mul(0x2545f4914f6cdd1d)
+                    .wrapping_add(pc.wrapping_mul(0x9e3779b97f4a7c15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^= z >> 31;
+                let u = (z >> 11) as f64 / (1u64 << 53) as f64;
+                (u as f32) < taken_prob
+            }
+            BranchSem::Always => true,
+            BranchSem::Return => true,
+        }
+    }
+}
+
+/// One static program location.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticInst {
+    pub pc: Pc,
+    pub op: OpClass,
+    pub dest: Option<Reg>,
+    pub srcs: [Option<Reg>; 2],
+    /// Address generator, present iff `op.is_mem()`.
+    pub mem: Option<AddressPattern>,
+    /// Control info, present iff `op.is_control()`.
+    pub branch: Option<BranchInfo>,
+    /// The paper's ISA extension (Section 2.1): one bit of offline
+    /// vulnerability profile. `true` = this PC produced at least one ACE
+    /// dynamic instance during profiling, so the issue logic must treat
+    /// every instance as reliability-critical.
+    pub ace_hint: bool,
+}
+
+impl StaticInst {
+    /// A plain computational instruction.
+    pub fn compute(pc: Pc, op: OpClass, dest: Option<Reg>, srcs: [Option<Reg>; 2]) -> StaticInst {
+        debug_assert!(!op.is_mem() && !op.is_control());
+        StaticInst {
+            pc,
+            op,
+            dest,
+            srcs,
+            mem: None,
+            branch: None,
+            ace_hint: false,
+        }
+    }
+
+    /// A no-op at `pc`.
+    pub fn nop(pc: Pc) -> StaticInst {
+        StaticInst::compute(pc, OpClass::Nop, None, [None, None])
+    }
+
+    /// A load of `dest` via `pattern`, with optional index register.
+    pub fn load(pc: Pc, dest: Reg, addr_src: Option<Reg>, pattern: AddressPattern) -> StaticInst {
+        StaticInst {
+            pc,
+            op: OpClass::Load,
+            dest: Some(dest),
+            srcs: [addr_src, None],
+            mem: Some(pattern),
+            branch: None,
+            ace_hint: false,
+        }
+    }
+
+    /// A store of `value` via `pattern`, with optional index register.
+    pub fn store(pc: Pc, value: Reg, addr_src: Option<Reg>, pattern: AddressPattern) -> StaticInst {
+        StaticInst {
+            pc,
+            op: OpClass::Store,
+            dest: None,
+            srcs: [Some(value), addr_src],
+            mem: Some(pattern),
+            branch: None,
+            ace_hint: false,
+        }
+    }
+
+    /// A control instruction.
+    pub fn control(pc: Pc, op: OpClass, cond_src: Option<Reg>, info: BranchInfo) -> StaticInst {
+        debug_assert!(op.is_control());
+        StaticInst {
+            pc,
+            op,
+            dest: None,
+            srcs: [cond_src, None],
+            mem: None,
+            branch: Some(info),
+            ace_hint: false,
+        }
+    }
+
+    /// Number of register source operands actually present.
+    #[inline]
+    pub fn num_srcs(&self) -> usize {
+        self.srcs.iter().flatten().count()
+    }
+
+    /// Structural sanity: memory ops have patterns, control ops have
+    /// branch info, and nothing else does.
+    pub fn is_well_formed(&self) -> bool {
+        self.mem.is_some() == self.op.is_mem()
+            && self.branch.is_some() == self.op.is_control()
+            && (self.op != OpClass::Nop || (self.dest.is_none() && self.num_srcs() == 0))
+    }
+}
+
+impl fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:06x}: {:?}", self.pc, self.op)?;
+        if let Some(d) = self.dest {
+            write!(f, " {d} <-")?;
+        }
+        for s in self.srcs.iter().flatten() {
+            write!(f, " {s}")?;
+        }
+        if let Some(b) = &self.branch {
+            write!(f, " -> {:06x} ({:?})", b.target, b.kind)?;
+        }
+        if self.ace_hint {
+            write!(f, " [ACE]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Global dynamic sequence number: strictly increasing in fetch order
+/// across all threads. Serves as the "age" for oldest-first selection.
+pub type DynSeq = u64;
+
+/// Resolved outcome of a dynamic control instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CtrlOutcome {
+    pub taken: bool,
+    /// Actual next PC (target if taken, fall-through otherwise).
+    pub next_pc: Pc,
+}
+
+/// One dynamic instruction instance flowing through the pipeline.
+///
+/// `DynInst` is an immutable descriptor: the pipeline keeps its own
+/// per-stage bookkeeping and never mutates the instance, which makes
+/// squash-and-replay (FLUSH policy, branch recovery) a matter of
+/// re-queuing the same descriptors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynInst {
+    /// Global fetch-order age (assigned by the pipeline front end).
+    pub seq: DynSeq,
+    pub tid: ThreadId,
+    /// Per-thread correct-path dynamic instruction index. Wrong-path
+    /// instances carry the index they were fetched at (only used for
+    /// diagnostics; they never commit).
+    pub dyn_idx: u64,
+    pub pc: Pc,
+    pub op: OpClass,
+    pub dest: Option<Reg>,
+    pub srcs: [Option<Reg>; 2],
+    /// Resolved effective address for memory ops.
+    pub mem_addr: Option<u64>,
+    /// Resolved outcome for control ops.
+    pub ctrl: Option<CtrlOutcome>,
+    /// Decoded ACE-ness hint (the profiled ISA bit of the static inst).
+    pub ace_hint: bool,
+    /// Fetched down a mispredicted path; will be squashed, never commits.
+    pub wrong_path: bool,
+}
+
+impl DynInst {
+    /// Number of register source operands actually present.
+    #[inline]
+    pub fn num_srcs(&self) -> usize {
+        self.srcs.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RegClass;
+
+    #[test]
+    fn loopback_outcome_pattern() {
+        let b = BranchInfo {
+            kind: BranchKind::Cond,
+            target: 10,
+            sem: BranchSem::LoopBack { trip: 4 },
+        };
+        let outcomes: Vec<bool> = (0..8).map(|k| b.outcome(k, 100)).collect();
+        assert_eq!(
+            outcomes,
+            vec![true, true, true, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn loopback_trip_one_never_taken() {
+        let b = BranchInfo {
+            kind: BranchKind::Cond,
+            target: 10,
+            sem: BranchSem::LoopBack { trip: 1 },
+        };
+        assert!((0..10).all(|k| !b.outcome(k, 0)));
+    }
+
+    #[test]
+    fn biased_outcome_is_deterministic_and_roughly_calibrated() {
+        let b = BranchInfo {
+            kind: BranchKind::Cond,
+            target: 10,
+            sem: BranchSem::Biased { taken_prob: 0.7 },
+        };
+        let n = 10_000u64;
+        let taken = (0..n).filter(|&k| b.outcome(k, 55)).count() as f64;
+        let rate = taken / n as f64;
+        assert!((rate - 0.7).abs() < 0.03, "rate = {rate}");
+        // Determinism.
+        for k in 0..100 {
+            assert_eq!(b.outcome(k, 55), b.outcome(k, 55));
+        }
+    }
+
+    #[test]
+    fn always_taken() {
+        let b = BranchInfo {
+            kind: BranchKind::Jump,
+            target: 42,
+            sem: BranchSem::Always,
+        };
+        assert!(b.outcome(0, 0) && b.outcome(999, 7));
+    }
+
+    #[test]
+    fn constructors_produce_well_formed_insts() {
+        let pc = 0;
+        assert!(StaticInst::nop(pc).is_well_formed());
+        assert!(StaticInst::compute(
+            pc,
+            OpClass::IAlu,
+            Some(Reg::int(1)),
+            [Some(Reg::int(2)), None]
+        )
+        .is_well_formed());
+        assert!(StaticInst::load(
+            pc,
+            Reg::int(1),
+            None,
+            AddressPattern::Fixed { addr: 0x10 }
+        )
+        .is_well_formed());
+        assert!(StaticInst::store(
+            pc,
+            Reg::int(1),
+            Some(Reg::int(2)),
+            AddressPattern::Fixed { addr: 0x10 }
+        )
+        .is_well_formed());
+        assert!(StaticInst::control(
+            pc,
+            OpClass::CondBranch,
+            Some(Reg::int(3)),
+            BranchInfo {
+                kind: BranchKind::Cond,
+                target: 4,
+                sem: BranchSem::Biased { taken_prob: 0.5 },
+            }
+        )
+        .is_well_formed());
+    }
+
+    #[test]
+    fn ill_formed_detected() {
+        let mut i = StaticInst::nop(0);
+        i.mem = Some(AddressPattern::Fixed { addr: 0 });
+        assert!(!i.is_well_formed());
+    }
+
+    #[test]
+    fn display_contains_operands() {
+        let i = StaticInst::compute(
+            0x20,
+            OpClass::FMul,
+            Some(Reg {
+                class: RegClass::Fp,
+                num: 3,
+            }),
+            [Some(Reg::fp(1)), Some(Reg::fp(2))],
+        );
+        let s = i.to_string();
+        assert!(s.contains("FMul") && s.contains("f3") && s.contains("f1"));
+    }
+}

@@ -1,0 +1,58 @@
+//! # `micro-isa` — the trace micro-ISA of the simulator
+//!
+//! The ICPP 2008 paper evaluates on SPEC CPU2000 binaries compiled for the
+//! Alpha ISA, running under a heavily modified M-Sim. Neither the binaries
+//! nor an Alpha functional front end are reproducible here, so this crate
+//! defines the *closest synthetic equivalent*: a compact trace micro-ISA
+//! whose instructions carry exactly the state the paper's mechanisms care
+//! about —
+//!
+//! * an **operation class** that maps onto the simulated function-unit pools
+//!   and execution latencies of the paper's Table 2 machine,
+//! * **register operands** (32 integer + 32 floating-point architectural
+//!   registers per hardware context) that drive wakeup/select and the
+//!   ACE-ness dataflow analysis,
+//! * **memory operands** expressed as deterministic address-pattern
+//!   generators (the workload models in `workload-gen` instantiate these),
+//! * **control operands** (branch targets and loop trip counts), and
+//! * the paper's proposed **1-bit ACE-ness hint**: the ISA extension of
+//!   Section 2.1 that lets the decoder tag each instruction as
+//!   reliability-critical using offline profiling information.
+//!
+//! Two instruction forms exist:
+//!
+//! * [`StaticInst`] — one *static* program location (a PC). Programs built
+//!   by `workload-gen` are sequences of static instructions organised into
+//!   basic blocks and loops.
+//! * [`DynInst`] — one *dynamic* instance flowing through the pipeline,
+//!   with resolved addresses and branch outcomes.
+//!
+//! The binary encoding ([`encoding`]) packs a static instruction into a
+//! 64-bit word. The bit layout is load-bearing: the AVF accounting in the
+//! `avf` crate counts *bits*, not instructions, and derives its per-field
+//! ACE masks from this layout (cf. Mukherjee et al., MICRO 2003 — un-ACE
+//! instructions still hold ACE opcode bits).
+
+pub mod encoding;
+pub mod inst;
+pub mod mem;
+pub mod op;
+pub mod reg;
+
+pub use encoding::{EncodedInst, ENCODED_BITS};
+pub use inst::{BranchInfo, BranchKind, BranchSem, CtrlOutcome, DynInst, DynSeq, StaticInst};
+pub use mem::AddressPattern;
+pub use op::{FuKind, OpClass};
+pub use reg::{Reg, RegClass, NUM_FP_REGS, NUM_INT_REGS};
+
+/// A program counter. PCs are word-indexed (one per static instruction)
+/// rather than byte-indexed; the fetch hardware of the simulated machine
+/// fetches up to eight consecutive words per cycle.
+pub type Pc = u64;
+
+/// Hardware-context (thread) identifier inside one SMT processor.
+pub type ThreadId = u8;
+
+/// The maximum number of hardware contexts the encoding and the simulator
+/// support. The paper's experiments use 4-context workloads (Table 3).
+pub const MAX_THREADS: usize = 8;

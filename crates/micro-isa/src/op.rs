@@ -1,0 +1,333 @@
+//! Operation classes and their mapping onto function units and latencies.
+//!
+//! The paper's Table 2 machine has four function-unit pools:
+//! 8 integer ALUs, 4 integer MUL/DIV units, 4 load/store ports,
+//! 8 FP ALUs and 4 FP MUL/DIV/SQRT units. Each [`OpClass`] maps onto
+//! exactly one [`FuKind`] and carries a fixed execution latency (loads and
+//! stores additionally pay the memory-hierarchy latency resolved by
+//! `mem-hier` at execute time).
+
+use serde::{Deserialize, Serialize};
+
+/// Operation class of an instruction.
+///
+/// This is deliberately coarse — the paper's mechanisms (VISA issue,
+/// dynamic IQ allocation, DVM) depend on *which pool an instruction
+/// occupies and for how long*, not on arithmetic semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Integer add/sub/logic/shift/compare. 1-cycle.
+    IAlu,
+    /// Integer multiply. 3-cycle, pipelined.
+    IMul,
+    /// Integer divide. 12-cycle, unpipelined.
+    IDiv,
+    /// Floating-point add/sub/convert/compare. 2-cycle, pipelined.
+    FAlu,
+    /// Floating-point multiply. 4-cycle, pipelined.
+    FMul,
+    /// Floating-point divide. 12-cycle, unpipelined.
+    FDiv,
+    /// Floating-point square root. 24-cycle, unpipelined.
+    FSqrt,
+    /// Memory load. 1-cycle address generation + memory-hierarchy latency.
+    Load,
+    /// Memory store. 1-cycle address generation; data is written at commit.
+    Store,
+    /// Conditional branch. 1-cycle; resolves at execute.
+    CondBranch,
+    /// Unconditional direct jump.
+    Jump,
+    /// Call (pushes the return-address stack of the branch predictor).
+    Call,
+    /// Return (pops the return-address stack).
+    Ret,
+    /// No-operation. Occupies a pipeline slot but computes nothing; always
+    /// un-ACE (a classic source of un-ACE bits in Mukherjee's taxonomy).
+    Nop,
+    /// Program-output operation (models a syscall that externalises a
+    /// value, e.g. a write). Always ACE, and an ACE *sink*: every value
+    /// that transitively reaches one is architecturally required.
+    Output,
+}
+
+/// Function-unit pool kinds of the Table 2 machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FuKind {
+    /// Integer ALUs (8 units). Branches and outputs also execute here.
+    IntAlu,
+    /// Integer multiply/divide units (4 units).
+    IntMulDiv,
+    /// Load/store ports (4 units).
+    LoadStore,
+    /// FP ALUs (8 units).
+    FpAlu,
+    /// FP multiply/divide/sqrt units (4 units).
+    FpMulDiv,
+}
+
+impl FuKind {
+    /// All pool kinds, in a fixed order usable for dense indexing.
+    pub const ALL: [FuKind; 5] = [
+        FuKind::IntAlu,
+        FuKind::IntMulDiv,
+        FuKind::LoadStore,
+        FuKind::FpAlu,
+        FuKind::FpMulDiv,
+    ];
+
+    /// Dense index of this pool kind (matches the order of [`Self::ALL`]).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            FuKind::IntAlu => 0,
+            FuKind::IntMulDiv => 1,
+            FuKind::LoadStore => 2,
+            FuKind::FpAlu => 3,
+            FuKind::FpMulDiv => 4,
+        }
+    }
+
+    /// Number of units in this pool on the paper's Table 2 machine.
+    #[inline]
+    pub fn default_pool_size(self) -> usize {
+        match self {
+            FuKind::IntAlu => 8,
+            FuKind::IntMulDiv => 4,
+            FuKind::LoadStore => 4,
+            FuKind::FpAlu => 8,
+            FuKind::FpMulDiv => 4,
+        }
+    }
+}
+
+impl OpClass {
+    /// All operation classes (for exhaustive iteration in tests/encoders).
+    pub const ALL: [OpClass; 15] = [
+        OpClass::IAlu,
+        OpClass::IMul,
+        OpClass::IDiv,
+        OpClass::FAlu,
+        OpClass::FMul,
+        OpClass::FDiv,
+        OpClass::FSqrt,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::CondBranch,
+        OpClass::Jump,
+        OpClass::Call,
+        OpClass::Ret,
+        OpClass::Nop,
+        OpClass::Output,
+    ];
+
+    /// The function-unit pool this class executes on.
+    #[inline]
+    pub fn fu_kind(self) -> FuKind {
+        match self {
+            OpClass::IAlu
+            | OpClass::CondBranch
+            | OpClass::Jump
+            | OpClass::Call
+            | OpClass::Ret
+            | OpClass::Nop
+            | OpClass::Output => FuKind::IntAlu,
+            OpClass::IMul | OpClass::IDiv => FuKind::IntMulDiv,
+            OpClass::Load | OpClass::Store => FuKind::LoadStore,
+            OpClass::FAlu => FuKind::FpAlu,
+            OpClass::FMul | OpClass::FDiv | OpClass::FSqrt => FuKind::FpMulDiv,
+        }
+    }
+
+    /// Fixed execution latency in cycles, *excluding* memory-hierarchy
+    /// latency for loads (which is added by the simulator after the cache
+    /// lookup resolves).
+    #[inline]
+    pub fn base_latency(self) -> u32 {
+        match self {
+            OpClass::IAlu
+            | OpClass::CondBranch
+            | OpClass::Jump
+            | OpClass::Call
+            | OpClass::Ret
+            | OpClass::Nop
+            | OpClass::Output => 1,
+            OpClass::IMul => 3,
+            OpClass::IDiv => 12,
+            OpClass::FAlu => 2,
+            OpClass::FMul => 4,
+            OpClass::FDiv => 12,
+            OpClass::FSqrt => 24,
+            OpClass::Load | OpClass::Store => 1,
+        }
+    }
+
+    /// Whether the unit is pipelined (can accept a new op every cycle) or
+    /// blocks its unit for the full latency.
+    #[inline]
+    pub fn pipelined(self) -> bool {
+        !matches!(self, OpClass::IDiv | OpClass::FDiv | OpClass::FSqrt)
+    }
+
+    /// Is this any control-transfer instruction (handled by the branch
+    /// predictor and resolved at execute)?
+    #[inline]
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            OpClass::CondBranch | OpClass::Jump | OpClass::Call | OpClass::Ret
+        )
+    }
+
+    /// Is this a memory operation?
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Is this an ACE *sink* — an operation whose inputs are by definition
+    /// architecturally required (stores that leave the pipeline, taken
+    /// program outputs, and control decisions)?
+    ///
+    /// This mirrors the classification used by the ground-truth ACE
+    /// analysis in the `avf` crate: a value is ACE iff it transitively
+    /// reaches a sink before being overwritten (within the analysis
+    /// window).
+    #[inline]
+    pub fn is_ace_sink(self) -> bool {
+        matches!(
+            self,
+            OpClass::Store | OpClass::Output | OpClass::CondBranch | OpClass::Ret
+        )
+    }
+
+    /// Numeric opcode used by the binary encoding (5 bits).
+    #[inline]
+    pub fn opcode(self) -> u8 {
+        match self {
+            OpClass::IAlu => 0,
+            OpClass::IMul => 1,
+            OpClass::IDiv => 2,
+            OpClass::FAlu => 3,
+            OpClass::FMul => 4,
+            OpClass::FDiv => 5,
+            OpClass::FSqrt => 6,
+            OpClass::Load => 7,
+            OpClass::Store => 8,
+            OpClass::CondBranch => 9,
+            OpClass::Jump => 10,
+            OpClass::Call => 11,
+            OpClass::Ret => 12,
+            OpClass::Nop => 13,
+            OpClass::Output => 14,
+        }
+    }
+
+    /// Inverse of [`Self::opcode`].
+    pub fn from_opcode(code: u8) -> Option<OpClass> {
+        Some(match code {
+            0 => OpClass::IAlu,
+            1 => OpClass::IMul,
+            2 => OpClass::IDiv,
+            3 => OpClass::FAlu,
+            4 => OpClass::FMul,
+            5 => OpClass::FDiv,
+            6 => OpClass::FSqrt,
+            7 => OpClass::Load,
+            8 => OpClass::Store,
+            9 => OpClass::CondBranch,
+            10 => OpClass::Jump,
+            11 => OpClass::Call,
+            12 => OpClass::Ret,
+            13 => OpClass::Nop,
+            14 => OpClass::Output,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_round_trips() {
+        for op in [
+            OpClass::IAlu,
+            OpClass::IMul,
+            OpClass::IDiv,
+            OpClass::FAlu,
+            OpClass::FMul,
+            OpClass::FDiv,
+            OpClass::FSqrt,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::CondBranch,
+            OpClass::Jump,
+            OpClass::Call,
+            OpClass::Ret,
+            OpClass::Nop,
+            OpClass::Output,
+        ] {
+            assert_eq!(OpClass::from_opcode(op.opcode()), Some(op));
+        }
+    }
+
+    #[test]
+    fn from_opcode_rejects_out_of_range() {
+        assert_eq!(OpClass::from_opcode(15), None);
+        assert_eq!(OpClass::from_opcode(255), None);
+    }
+
+    #[test]
+    fn fu_pool_sizes_match_table2() {
+        assert_eq!(FuKind::IntAlu.default_pool_size(), 8);
+        assert_eq!(FuKind::IntMulDiv.default_pool_size(), 4);
+        assert_eq!(FuKind::LoadStore.default_pool_size(), 4);
+        assert_eq!(FuKind::FpAlu.default_pool_size(), 8);
+        assert_eq!(FuKind::FpMulDiv.default_pool_size(), 4);
+    }
+
+    #[test]
+    fn fu_indices_are_dense_and_consistent() {
+        for (i, kind) in FuKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn unpipelined_ops_are_the_long_dividers() {
+        assert!(!OpClass::IDiv.pipelined());
+        assert!(!OpClass::FDiv.pipelined());
+        assert!(!OpClass::FSqrt.pipelined());
+        assert!(OpClass::IMul.pipelined());
+        assert!(OpClass::Load.pipelined());
+    }
+
+    #[test]
+    fn control_ops_classified() {
+        assert!(OpClass::CondBranch.is_control());
+        assert!(OpClass::Jump.is_control());
+        assert!(OpClass::Call.is_control());
+        assert!(OpClass::Ret.is_control());
+        assert!(!OpClass::Load.is_control());
+        assert!(!OpClass::Output.is_control());
+    }
+
+    #[test]
+    fn sink_ops_classified() {
+        assert!(OpClass::Store.is_ace_sink());
+        assert!(OpClass::Output.is_ace_sink());
+        assert!(OpClass::CondBranch.is_ace_sink());
+        assert!(!OpClass::IAlu.is_ace_sink());
+        assert!(!OpClass::Nop.is_ace_sink());
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        for code in 0..15u8 {
+            let op = OpClass::from_opcode(code).unwrap();
+            assert!(op.base_latency() >= 1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Architectural register model.
+//!
+//! Each hardware context owns 32 integer and 32 floating-point
+//! architectural registers, mirroring the Alpha ISA register file the
+//! paper's workloads were compiled for. The simulator tracks readiness
+//! and vulnerability per architectural register (a scoreboard-style
+//! design); a separate physical register file is not modelled because
+//! none of the paper's mechanisms depend on renaming capacity.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of integer architectural registers per context.
+pub const NUM_INT_REGS: usize = 32;
+/// Number of floating-point architectural registers per context.
+pub const NUM_FP_REGS: usize = 32;
+
+/// Register class: integer or floating point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RegClass {
+    Int,
+    Fp,
+}
+
+/// One architectural register of a hardware context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Reg {
+    pub class: RegClass,
+    /// Register number within its class, `< 32`.
+    pub num: u8,
+}
+
+impl Reg {
+    /// An integer register. Panics if `num >= 32`.
+    #[inline]
+    pub fn int(num: u8) -> Reg {
+        assert!((num as usize) < NUM_INT_REGS, "int register out of range");
+        Reg {
+            class: RegClass::Int,
+            num,
+        }
+    }
+
+    /// A floating-point register. Panics if `num >= 32`.
+    #[inline]
+    pub fn fp(num: u8) -> Reg {
+        assert!((num as usize) < NUM_FP_REGS, "fp register out of range");
+        Reg {
+            class: RegClass::Fp,
+            num,
+        }
+    }
+
+    /// Dense index over the combined (int ++ fp) register space of one
+    /// context: integer registers occupy `0..32`, FP registers `32..64`.
+    /// Used by scoreboards and the register-file AVF tracker.
+    #[inline]
+    pub fn flat_index(self) -> usize {
+        match self.class {
+            RegClass::Int => self.num as usize,
+            RegClass::Fp => NUM_INT_REGS + self.num as usize,
+        }
+    }
+
+    /// Inverse of [`Self::flat_index`]. Panics if out of range.
+    #[inline]
+    pub fn from_flat_index(idx: usize) -> Reg {
+        if idx < NUM_INT_REGS {
+            Reg::int(idx as u8)
+        } else {
+            assert!(idx < NUM_INT_REGS + NUM_FP_REGS, "flat index out of range");
+            Reg::fp((idx - NUM_INT_REGS) as u8)
+        }
+    }
+
+    /// 6-bit encoding used by the instruction word: bit 5 is the class,
+    /// bits 4..0 the register number.
+    #[inline]
+    pub fn encode6(self) -> u8 {
+        let class_bit = match self.class {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        };
+        (class_bit << 5) | (self.num & 0x1f)
+    }
+
+    /// Inverse of [`Self::encode6`].
+    #[inline]
+    pub fn decode6(bits: u8) -> Reg {
+        let num = bits & 0x1f;
+        if bits & 0x20 == 0 {
+            Reg::int(num)
+        } else {
+            Reg::fp(num)
+        }
+    }
+}
+
+/// Total number of architectural registers per context, integer + FP.
+pub const NUM_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.num),
+            RegClass::Fp => write!(f, "f{}", self.num),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_round_trips() {
+        for idx in 0..NUM_REGS {
+            assert_eq!(Reg::from_flat_index(idx).flat_index(), idx);
+        }
+    }
+
+    #[test]
+    fn encode6_round_trips() {
+        for n in 0..32u8 {
+            assert_eq!(Reg::decode6(Reg::int(n).encode6()), Reg::int(n));
+            assert_eq!(Reg::decode6(Reg::fp(n).encode6()), Reg::fp(n));
+        }
+    }
+
+    #[test]
+    fn int_and_fp_spaces_disjoint() {
+        assert_ne!(Reg::int(3).flat_index(), Reg::fp(3).flat_index());
+        assert_eq!(Reg::fp(0).flat_index(), NUM_INT_REGS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_register_range_checked() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fp_register_range_checked() {
+        let _ = Reg::fp(32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg::int(5).to_string(), "r5");
+        assert_eq!(Reg::fp(31).to_string(), "f31");
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the micro-ISA: encodings round-trip for every
+//! representable instruction, and branch semantics stay deterministic
+//! and well-calibrated over arbitrary parameters.
+
+use micro_isa::{
+    AddressPattern, BranchInfo, BranchKind, BranchSem, EncodedInst, OpClass, Reg, StaticInst,
+};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32, prop::bool::ANY).prop_map(|(n, fp)| if fp { Reg::fp(n) } else { Reg::int(n) })
+}
+
+fn arb_operand() -> impl Strategy<Value = Option<Reg>> {
+    prop_oneof![Just(None), arb_reg().prop_map(Some)]
+}
+
+fn arb_compute_op() -> impl Strategy<Value = OpClass> {
+    prop::sample::select(vec![
+        OpClass::IAlu,
+        OpClass::IMul,
+        OpClass::IDiv,
+        OpClass::FAlu,
+        OpClass::FMul,
+        OpClass::FDiv,
+        OpClass::FSqrt,
+        OpClass::Output,
+    ])
+}
+
+proptest! {
+    /// Every architectural field of a compute instruction survives the
+    /// 64-bit encode/decode round trip.
+    #[test]
+    fn encoding_round_trips_all_fields(
+        op in arb_compute_op(),
+        dest in arb_operand(),
+        s0 in arb_operand(),
+        s1 in arb_operand(),
+        ace in prop::bool::ANY,
+        pc in 0u64..1_000_000,
+    ) {
+        let mut inst = StaticInst {
+            pc,
+            op,
+            dest,
+            srcs: [s0, s1],
+            mem: None,
+            branch: None,
+            ace_hint: ace,
+        };
+        inst.ace_hint = ace;
+        let decoded = EncodedInst::encode(&inst).decode().expect("valid opcode");
+        prop_assert_eq!(decoded.op, op);
+        prop_assert_eq!(decoded.dest, dest);
+        prop_assert_eq!(decoded.srcs, [s0, s1]);
+        prop_assert_eq!(decoded.ace_hint, ace);
+    }
+
+    /// Branch targets survive through the immediate field (37 bits).
+    #[test]
+    fn branch_target_round_trips(target in 0u64..(1u64 << 37)) {
+        let inst = StaticInst::control(
+            0,
+            OpClass::CondBranch,
+            Some(Reg::int(1)),
+            BranchInfo { kind: BranchKind::Cond, target, sem: BranchSem::Always },
+        );
+        let decoded = EncodedInst::encode(&inst).decode().unwrap();
+        prop_assert_eq!(decoded.imm, target);
+    }
+
+    /// Loop-back semantics: exactly one not-taken per `trip` executions,
+    /// at the trip boundary.
+    #[test]
+    fn loopback_falls_through_once_per_trip(trip in 1u32..200, rounds in 1u64..5) {
+        let b = BranchInfo {
+            kind: BranchKind::Cond,
+            target: 0,
+            sem: BranchSem::LoopBack { trip },
+        };
+        let total = trip as u64 * rounds;
+        let not_taken = (0..total).filter(|&k| !b.outcome(k, 7)).count() as u64;
+        prop_assert_eq!(not_taken, rounds);
+        for r in 0..rounds {
+            prop_assert!(!b.outcome(r * trip as u64 + trip as u64 - 1, 7));
+        }
+    }
+
+    /// Biased outcomes are pure functions of (k, pc) and land within a
+    /// loose calibration band of the requested probability.
+    #[test]
+    fn biased_outcomes_deterministic_and_calibrated(
+        prob in 0.05f32..0.95,
+        pc in 0u64..10_000,
+    ) {
+        let b = BranchInfo {
+            kind: BranchKind::Cond,
+            target: 0,
+            sem: BranchSem::Biased { taken_prob: prob },
+        };
+        let n = 4_000u64;
+        let taken = (0..n).filter(|&k| b.outcome(k, pc)).count() as f64 / n as f64;
+        prop_assert!((taken - prob as f64).abs() < 0.08, "taken {taken} vs prob {prob}");
+        for k in 0..64 {
+            prop_assert_eq!(b.outcome(k, pc), b.outcome(k, pc));
+        }
+    }
+
+    /// Address patterns always stay within their declared region and are
+    /// pure functions of the execution index.
+    #[test]
+    fn address_patterns_stay_in_region(
+        base in 0u64..(1u64 << 30),
+        span in 64u64..(1u64 << 22),
+        stride in 1u64..512,
+        salt in 0u64..1_000_000,
+        k in 0u64..1_000_000,
+    ) {
+        let stride_pat = AddressPattern::Stride { base, stride, span };
+        let a = stride_pat.address(k);
+        prop_assert!(a >= base && a < base + span);
+        prop_assert_eq!(a, stride_pat.address(k));
+
+        let scatter = AddressPattern::Scatter { base, span, salt };
+        let a = scatter.address(k);
+        prop_assert!(a >= base && a < base + span);
+        prop_assert_eq!(a, scatter.address(k));
+    }
+
+    /// Register flat indices are a bijection over the 64-register space.
+    #[test]
+    fn reg_flat_index_bijective(n in 0u8..32, fp in prop::bool::ANY) {
+        let r = if fp { Reg::fp(n) } else { Reg::int(n) };
+        prop_assert_eq!(Reg::from_flat_index(r.flat_index()), r);
+        prop_assert_eq!(Reg::decode6(r.encode6()), r);
+    }
+}

@@ -1,0 +1,24 @@
+//! # `sim-stats` — measurement toolkit
+//!
+//! Everything the experiment harness needs to turn raw pipeline counters
+//! into the paper's tables and figures:
+//!
+//! * [`Histogram`] with an attached per-bucket companion metric — exactly
+//!   the shape of the paper's Figure 2 (ready-queue-length distribution
+//!   with per-length ACE-instruction percentage);
+//! * [`IntervalSeries`] — per-interval samples (AVF, IPC, L2 misses) with
+//!   the PVE (*percentage of vulnerability emergencies*) computation of
+//!   Section 5.2;
+//! * [`metrics`] — throughput IPC and the fairness-aware harmonic IPC of
+//!   Luo et al. that the paper reports in Figures 8–9;
+//! * [`table`] — fixed-width text and CSV rendering for experiment output.
+
+pub mod histogram;
+pub mod interval;
+pub mod metrics;
+pub mod table;
+
+pub use histogram::{CompanionHistogram, Histogram};
+pub use interval::IntervalSeries;
+pub use metrics::{geometric_mean, harmonic_ipc, mean, throughput_ipc};
+pub use table::Table;

@@ -1,0 +1,98 @@
+//! SMT performance metrics.
+
+/// Throughput IPC: total committed instructions across all contexts per
+/// cycle — the paper's primary performance metric.
+pub fn throughput_ipc(committed_per_thread: &[u64], cycles: u64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    committed_per_thread.iter().sum::<u64>() as f64 / cycles as f64
+}
+
+/// Harmonic-mean IPC (Luo, Gummaraju, Franklin — ISPASS 2001): the
+/// fairness-aware metric the paper reports alongside throughput in
+/// Figures 8–9. `N / Σ(1/IPC_i)` over per-thread IPCs; a scheme that
+/// starves one thread is punished even if total throughput rises.
+pub fn harmonic_ipc(committed_per_thread: &[u64], cycles: u64) -> f64 {
+    if cycles == 0 || committed_per_thread.is_empty() {
+        return 0.0;
+    }
+    let mut denom = 0.0;
+    for &c in committed_per_thread {
+        if c == 0 {
+            return 0.0; // a fully starved thread ⇒ harmonic IPC → 0
+        }
+        denom += cycles as f64 / c as f64;
+    }
+    committed_per_thread.len() as f64 / denom
+}
+
+/// Arithmetic mean, 0 on empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Geometric mean, 0 on empty input; requires positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geometric mean needs positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_sums_threads() {
+        assert!((throughput_ipc(&[100, 300], 100) - 4.0).abs() < 1e-12);
+        assert_eq!(throughput_ipc(&[5], 0), 0.0);
+    }
+
+    #[test]
+    fn harmonic_equals_throughput_when_balanced() {
+        let c = [200u64, 200, 200, 200];
+        let h = harmonic_ipc(&c, 100);
+        let per_thread = 2.0;
+        assert!((h - per_thread).abs() < 1e-12);
+    }
+
+    #[test]
+    fn harmonic_punishes_imbalance() {
+        // Same total commits, unbalanced: harmonic must drop.
+        let balanced = harmonic_ipc(&[200, 200], 100);
+        let skewed = harmonic_ipc(&[390, 10], 100);
+        assert!(skewed < balanced);
+    }
+
+    #[test]
+    fn starved_thread_zeroes_harmonic() {
+        assert_eq!(harmonic_ipc(&[100, 0], 100), 0.0);
+    }
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_nonpositive() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Machine configuration (the paper's Table 2) and simulation limits.
+
+use mem_hier::HierarchyConfig;
+
+/// Full microarchitecture configuration of the simulated SMT processor.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Fetch/issue/commit width (Table 2: 8).
+    pub width: usize,
+    /// Maximum threads fetched per cycle (ICOUNT.2.8-style front end).
+    pub fetch_threads_per_cycle: usize,
+    /// Per-thread fetch queue capacity.
+    pub fetch_queue_size: usize,
+    /// Shared issue queue entries (Table 2: 96).
+    pub iq_size: usize,
+    /// Reorder buffer entries per thread (Table 2: 96).
+    pub rob_size: usize,
+    /// Load/store queue entries per thread (Table 2: 48).
+    pub lsq_size: usize,
+    /// Number of hardware contexts.
+    pub num_threads: usize,
+    /// Function-unit pool sizes, indexed by `FuKind::index()`
+    /// (Table 2: 8 I-ALU, 4 I-MUL/DIV, 4 load/store, 8 FP-ALU, 4 FP-MUL/DIV).
+    pub fu_pool_sizes: [usize; 5],
+    /// Cache/TLB/memory configuration.
+    pub memory: HierarchyConfig,
+    /// FLUSH fires only when IQ occupancy reaches this fraction of
+    /// capacity: the policy exists to de-clog the shared queue, and
+    /// rolling a thread back while entries are plentiful is pure waste.
+    pub flush_clog_threshold: f64,
+    /// Minimum cycles between rollbacks of one thread; within the
+    /// cooldown repeated misses degrade to STALL-style fetch gating.
+    pub flush_cooldown: u64,
+    /// Miss-status-holding registers per thread: the maximum loads a
+    /// thread may have outstanding past the L1D. A load that would
+    /// exceed it stays in the IQ (ready but not issuable) until an MSHR
+    /// frees — bounding per-thread memory-level parallelism the way real
+    /// cache controllers do.
+    pub mshr_per_thread: u32,
+    /// Optional higher-fidelity memory ordering: when enabled, a load
+    /// may not issue while an older same-thread store's address is
+    /// unresolved, and a load whose address matches an in-flight older
+    /// store is satisfied by store-to-load forwarding (1-cycle, no cache
+    /// access). Off by default: the paper-calibrated runs use the
+    /// simpler unordered model (see the pipeline module docs).
+    pub lsq_disambiguation: bool,
+}
+
+impl MachineConfig {
+    /// The paper's Table 2 machine with 4 hardware contexts (the
+    /// experiments all run 4-context workloads).
+    pub fn table2() -> MachineConfig {
+        MachineConfig {
+            width: 8,
+            fetch_threads_per_cycle: 2,
+            fetch_queue_size: 32,
+            iq_size: 96,
+            rob_size: 96,
+            lsq_size: 48,
+            num_threads: 4,
+            fu_pool_sizes: [8, 4, 4, 8, 4],
+            memory: HierarchyConfig::default(),
+            flush_clog_threshold: 0.5,
+            flush_cooldown: 200,
+            mshr_per_thread: 8,
+            lsq_disambiguation: false,
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if self.width == 0 || self.iq_size == 0 || self.rob_size == 0 {
+            return Err("zero width/IQ/ROB".into());
+        }
+        if self.num_threads == 0 || self.num_threads > micro_isa::MAX_THREADS {
+            return Err(format!("num_threads {} out of range", self.num_threads));
+        }
+        if self.fetch_threads_per_cycle == 0 {
+            return Err("fetch_threads_per_cycle must be >= 1".into());
+        }
+        if self.fu_pool_sizes.iter().any(|&s| s == 0) {
+            return Err("empty function-unit pool".into());
+        }
+        if self.mshr_per_thread == 0 {
+            return Err("mshr_per_thread must be >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// When to stop a simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct SimLimits {
+    /// Stop once this many instructions have committed in total
+    /// (the paper runs 400 M; scaled-down runs use 0.5–4 M).
+    pub max_instructions: u64,
+    /// Hard cycle ceiling (deadlock backstop).
+    pub max_cycles: u64,
+}
+
+impl SimLimits {
+    pub fn instructions(n: u64) -> SimLimits {
+        SimLimits {
+            max_instructions: n,
+            // Even at IPC 0.05 the budget fits; beyond this something hangs.
+            max_cycles: n.saturating_mul(40).max(1_000_000),
+        }
+    }
+
+    /// Run for a fixed number of cycles (used by interval-statistics
+    /// experiments, which need a fixed number of sampling intervals
+    /// regardless of the scheme's IPC).
+    pub fn cycles(n: u64) -> SimLimits {
+        SimLimits {
+            max_instructions: u64::MAX,
+            max_cycles: n,
+        }
+    }
+
+    /// Whether hitting the cycle ceiling is the intended stop (cycle
+    /// budget) rather than a deadlock symptom (instruction budget).
+    pub fn cycle_limited(&self) -> bool {
+        self.max_instructions == u64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let c = MachineConfig::table2();
+        c.validate().unwrap();
+        assert_eq!(c.width, 8);
+        assert_eq!(c.iq_size, 96);
+        assert_eq!(c.rob_size, 96);
+        assert_eq!(c.lsq_size, 48);
+        assert_eq!(c.fu_pool_sizes, [8, 4, 4, 8, 4]);
+        assert_eq!(c.num_threads, 4);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = MachineConfig::table2();
+        c.num_threads = 0;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::table2();
+        c.num_threads = 99;
+        assert!(c.validate().is_err());
+        let mut c = MachineConfig::table2();
+        c.fu_pool_sizes[2] = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn limits_scale_cycle_ceiling() {
+        let l = SimLimits::instructions(1_000_000);
+        assert_eq!(l.max_instructions, 1_000_000);
+        assert!(l.max_cycles >= 40_000_000);
+    }
+}

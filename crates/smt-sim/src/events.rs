@@ -1,0 +1,165 @@
+//! Observer hooks: how vulnerability analysis attaches to the pipeline.
+//!
+//! The AVF methodology needs, for every dynamic instruction, (a) its
+//! ground-truth ACE-ness — computable only from the *committed* stream —
+//! and (b) how long it occupied each structure. The pipeline therefore
+//! reports every retired instruction (committed or squashed) once, with
+//! its complete timing record; the `avf` crate folds these into bit-level
+//! per-structure AVF without the pipeline knowing anything about ACE
+//! analysis.
+
+use micro_isa::DynInst;
+
+/// Why an instruction left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetireKind {
+    /// Architecturally committed.
+    Commit,
+    /// Squashed: wrong path, branch recovery, or FLUSH rollback.
+    Squash,
+}
+
+/// One retired instruction with its full residency timing.
+///
+/// Structure residencies derive as:
+/// * IQ: `[dispatch_cycle, complete_cycle)` — the simulator follows the
+///   M-Sim/RUU convention of freeing IQ entries at writeback — or
+///   `[dispatch_cycle, retire_cycle)` if squashed first;
+/// * ROB: `[dispatch_cycle, retire_cycle)`;
+/// * LSQ (memory ops): `[dispatch_cycle, retire_cycle)`;
+/// * FU: `[issue_cycle, complete_cycle)`;
+/// * register file: from producer completion until architectural
+///   overwrite — derived downstream from the committed stream.
+#[derive(Debug, Clone)]
+pub struct RetireEvent {
+    pub inst: DynInst,
+    pub kind: RetireKind,
+    pub fetch_cycle: u64,
+    pub dispatch_cycle: Option<u64>,
+    pub issue_cycle: Option<u64>,
+    pub complete_cycle: Option<u64>,
+    /// Commit cycle, or the cycle the squash happened.
+    pub retire_cycle: u64,
+    /// This load missed the L2.
+    pub l2_miss: bool,
+}
+
+impl RetireEvent {
+    /// Cycles this instruction held an IQ entry.
+    pub fn iq_residency(&self) -> u64 {
+        let Some(d) = self.dispatch_cycle else {
+            return 0;
+        };
+        let leave = self.complete_cycle.unwrap_or(self.retire_cycle);
+        leave.saturating_sub(d)
+    }
+
+    /// Cycles this instruction held a ROB entry.
+    pub fn rob_residency(&self) -> u64 {
+        match self.dispatch_cycle {
+            Some(d) => self.retire_cycle.saturating_sub(d),
+            None => 0,
+        }
+    }
+
+    /// Cycles this instruction occupied a function unit.
+    pub fn fu_residency(&self) -> u64 {
+        match (self.issue_cycle, self.complete_cycle) {
+            (Some(i), Some(c)) => c.saturating_sub(i),
+            (Some(i), None) => self.retire_cycle.saturating_sub(i),
+            _ => 0,
+        }
+    }
+
+    /// Cycles this instruction held an LSQ entry (memory ops only).
+    pub fn lsq_residency(&self) -> u64 {
+        if self.inst.op.is_mem() {
+            self.rob_residency()
+        } else {
+            0
+        }
+    }
+}
+
+/// Pipeline observer. All hooks have empty defaults; implement what you
+/// need. The pipeline calls `on_commit`/`on_squash` exactly once per
+/// dynamic instruction, in retirement order per thread (commits are
+/// per-thread program order; squashes interleave).
+pub trait SimObserver {
+    fn on_commit(&mut self, _ev: &RetireEvent) {}
+    fn on_squash(&mut self, _ev: &RetireEvent) {}
+    /// Called once when the simulation stops, with the final cycle count.
+    fn on_finish(&mut self, _final_cycle: u64) {}
+}
+
+/// The do-nothing observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micro_isa::OpClass;
+
+    fn ev(op: OpClass) -> RetireEvent {
+        RetireEvent {
+            inst: DynInst {
+                seq: 0,
+                tid: 0,
+                dyn_idx: 0,
+                pc: 0,
+                op,
+                dest: None,
+                srcs: [None, None],
+                mem_addr: None,
+                ctrl: None,
+                ace_hint: false,
+                wrong_path: false,
+            },
+            kind: RetireKind::Commit,
+            fetch_cycle: 10,
+            dispatch_cycle: Some(12),
+            issue_cycle: Some(20),
+            complete_cycle: Some(25),
+            retire_cycle: 30,
+            l2_miss: false,
+        }
+    }
+
+    #[test]
+    fn residencies_from_timing() {
+        let e = ev(OpClass::Load);
+        assert_eq!(e.iq_residency(), 13);
+        assert_eq!(e.rob_residency(), 18);
+        assert_eq!(e.fu_residency(), 5);
+        assert_eq!(e.lsq_residency(), 18);
+    }
+
+    #[test]
+    fn non_mem_has_no_lsq_residency() {
+        let e = ev(OpClass::IAlu);
+        assert_eq!(e.lsq_residency(), 0);
+    }
+
+    #[test]
+    fn squashed_before_issue_counts_until_retire() {
+        let mut e = ev(OpClass::IAlu);
+        e.kind = RetireKind::Squash;
+        e.issue_cycle = None;
+        e.complete_cycle = None;
+        assert_eq!(e.iq_residency(), 18);
+        assert_eq!(e.fu_residency(), 0);
+    }
+
+    #[test]
+    fn never_dispatched_occupies_nothing() {
+        let mut e = ev(OpClass::IAlu);
+        e.dispatch_cycle = None;
+        e.issue_cycle = None;
+        e.complete_cycle = None;
+        assert_eq!(e.iq_residency(), 0);
+        assert_eq!(e.rob_residency(), 0);
+    }
+}

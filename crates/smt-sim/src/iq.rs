@@ -1,0 +1,174 @@
+//! The shared issue queue container.
+//!
+//! Stores the IDs of resident instructions (the slab holds the payload)
+//! plus the running hint-bit total the DVM hardware would keep in its
+//! ACE-bit counter. Entry order is not maintained here: age-based
+//! selection uses the global `seq` carried by each instruction.
+
+use crate::layout;
+use crate::types::InstId;
+
+/// The shared issue queue of the SMT processor.
+pub struct IssueQueue {
+    capacity: usize,
+    entries: Vec<InstId>,
+    /// Σ over resident instructions of their hint-derived ACE bits —
+    /// the online ACE-bit counter of the paper's Section 5.1.
+    hint_bits: u64,
+    /// Per-thread occupancy (who is hogging the shared queue).
+    per_thread: [usize; micro_isa::MAX_THREADS],
+}
+
+impl IssueQueue {
+    pub fn new(capacity: usize) -> IssueQueue {
+        assert!(capacity > 0);
+        IssueQueue {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            hint_bits: 0,
+            per_thread: [0; micro_isa::MAX_THREADS],
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Current hint-bit ACE total (the hardware counter value).
+    pub fn hint_bits_resident(&self) -> u64 {
+        self.hint_bits
+    }
+
+    /// Occupancy attributable to one thread.
+    pub fn thread_occupancy(&self, tid: micro_isa::ThreadId) -> usize {
+        self.per_thread[tid as usize]
+    }
+
+    /// Allocate an entry. Panics if full (the dispatch stage checks).
+    pub fn insert(&mut self, id: InstId, ace_hint: bool, tid: micro_isa::ThreadId) {
+        assert!(!self.is_full(), "IQ overflow");
+        debug_assert!(!self.entries.contains(&id), "duplicate IQ entry");
+        self.entries.push(id);
+        self.hint_bits += layout::iq_ace_bits(ace_hint) as u64;
+        self.per_thread[tid as usize] += 1;
+    }
+
+    /// Free the entry of `id` (at writeback or squash). Panics if absent.
+    pub fn remove(&mut self, id: InstId, ace_hint: bool, tid: micro_isa::ThreadId) {
+        let pos = self
+            .entries
+            .iter()
+            .position(|&e| e == id)
+            .expect("removing instruction not in IQ");
+        self.entries.swap_remove(pos);
+        self.hint_bits -= layout::iq_ace_bits(ace_hint) as u64;
+        self.per_thread[tid as usize] -= 1;
+    }
+
+    pub fn contains(&self, id: InstId) -> bool {
+        self.entries.contains(&id)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Remove every entry satisfying `pred`; calls `on_removed` for each.
+    /// Used by squash paths, which know each instruction's hint and
+    /// thread from the slab.
+    pub fn retain_with(
+        &mut self,
+        mut pred: impl FnMut(InstId) -> bool,
+        mut on_removed: impl FnMut(InstId),
+        hint_of: impl Fn(InstId) -> bool,
+        tid_of: impl Fn(InstId) -> micro_isa::ThreadId,
+    ) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            let id = self.entries[i];
+            if pred(id) {
+                i += 1;
+            } else {
+                self.entries.swap_remove(i);
+                self.hint_bits -= layout::iq_ace_bits(hint_of(id)) as u64;
+                self.per_thread[tid_of(id) as usize] -= 1;
+                on_removed(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{ACE_INST_BITS, UNACE_INST_BITS};
+
+    #[test]
+    fn insert_remove_tracks_occupancy_and_bits() {
+        let mut iq = IssueQueue::new(4);
+        iq.insert(1, true, 0);
+        iq.insert(2, false, 1);
+        assert_eq!(iq.len(), 2);
+        assert_eq!(
+            iq.hint_bits_resident(),
+            (ACE_INST_BITS + UNACE_INST_BITS) as u64
+        );
+        iq.remove(1, true, 0);
+        assert_eq!(iq.hint_bits_resident(), UNACE_INST_BITS as u64);
+        assert!(!iq.contains(1));
+        assert!(iq.contains(2));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut iq = IssueQueue::new(2);
+        iq.insert(1, false, 0);
+        iq.insert(2, false, 1);
+        assert!(iq.is_full());
+    }
+
+    #[test]
+    #[should_panic(expected = "IQ overflow")]
+    fn overflow_panics() {
+        let mut iq = IssueQueue::new(1);
+        iq.insert(1, false, 0);
+        iq.insert(2, false, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in IQ")]
+    fn removing_absent_panics() {
+        let mut iq = IssueQueue::new(2);
+        iq.remove(9, false, 0);
+    }
+
+    #[test]
+    fn retain_with_squashes_and_reports() {
+        let mut iq = IssueQueue::new(8);
+        for id in 0..6 {
+            iq.insert(id, id % 2 == 0, 0);
+        }
+        let mut removed = Vec::new();
+        iq.retain_with(|id| id < 3, |id| removed.push(id), |id| id % 2 == 0, |_| 0);
+        removed.sort_unstable();
+        assert_eq!(removed, vec![3, 4, 5]);
+        assert_eq!(iq.len(), 3);
+        // Bits for ids 0 (ACE), 1 (un-ACE), 2 (ACE).
+        assert_eq!(
+            iq.hint_bits_resident(),
+            (2 * ACE_INST_BITS + UNACE_INST_BITS) as u64
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Issue-selection policies.
+//!
+//! Every cycle the pipeline gathers the *ready queue* — the IQ entries
+//! whose source operands are complete — and hands it to the active
+//! [`IssuePolicy`] for prioritisation. The pipeline then walks the
+//! returned order, issuing instructions while issue bandwidth and
+//! function units last. The baseline is oldest-first (by global fetch
+//! age); the paper's VISA policy (ready ACE instructions first, each
+//! class in program order) lives in the `iq-reliability` crate.
+
+use crate::types::InstId;
+use micro_isa::{DynSeq, OpClass, ThreadId};
+
+/// A ready-to-execute IQ entry, as shown to issue policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyInst {
+    pub id: InstId,
+    /// Global fetch age (smaller = older; doubles as program order:
+    /// within a thread, fetch order *is* program order).
+    pub seq: DynSeq,
+    pub tid: ThreadId,
+    pub op: OpClass,
+    /// The decoded ACE-ness hint (the paper's profiled ISA bit).
+    pub ace_hint: bool,
+    pub wrong_path: bool,
+}
+
+/// An issue-selection policy: order the ready queue, highest priority
+/// first. The pipeline issues in the returned order subject to width and
+/// function-unit constraints.
+pub trait IssuePolicy {
+    fn name(&self) -> &'static str;
+    fn prioritize(&mut self, ready: &mut Vec<ReadyInst>);
+}
+
+/// Baseline selection: oldest instruction first, regardless of ACE-ness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OldestFirst;
+
+impl IssuePolicy for OldestFirst {
+    fn name(&self) -> &'static str {
+        "oldest-first"
+    }
+
+    fn prioritize(&mut self, ready: &mut Vec<ReadyInst>) {
+        ready.sort_unstable_by_key(|r| r.seq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn ready(seq: DynSeq, ace: bool) -> ReadyInst {
+        ReadyInst {
+            id: seq as InstId,
+            seq,
+            tid: 0,
+            op: OpClass::IAlu,
+            ace_hint: ace,
+            wrong_path: false,
+        }
+    }
+
+    #[test]
+    fn oldest_first_sorts_by_age() {
+        let mut v = vec![ready(5, true), ready(1, false), ready(9, true)];
+        OldestFirst.prioritize(&mut v);
+        let seqs: Vec<u64> = v.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn oldest_first_ignores_aceness() {
+        let mut v = vec![ready(2, false), ready(1, true)];
+        OldestFirst.prioritize(&mut v);
+        assert_eq!(v[0].seq, 1);
+        let mut v = vec![ready(2, true), ready(1, false)];
+        OldestFirst.prioritize(&mut v);
+        assert_eq!(v[0].seq, 1);
+    }
+}

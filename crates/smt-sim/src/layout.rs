@@ -1,0 +1,60 @@
+//! Bit layout of an issue-queue entry, shared by the pipeline's online
+//! hint-bit counter (DVM's ACE-bit counter of Section 5.1) and the
+//! ground-truth AVF accounting in the `avf` crate.
+//!
+//! Following Mukherjee et al.'s bit-level methodology, each IQ entry
+//! stores the 64-bit encoded instruction word plus 8 bits of issue-queue
+//! state (valid, ready, thread id, age tag):
+//!
+//! * A resident **ACE instruction** exposes its whole payload: the 64
+//!   encoded bits plus 4 of the status bits — a corrupted operand tag,
+//!   opcode or immediate all change architectural results.
+//! * A resident **un-ACE instruction** still exposes the bits required to
+//!   *recognise* it as un-ACE and retire it correctly: opcode (5), the
+//!   ACE-hint bit itself (1) and the 4 live status bits — 10 bits (the
+//!   paper: "un-ACE instructions also contain ACE-bits (e.g. opcode)").
+//! * A **squashed** (wrong-path or rolled-back) instruction exposes
+//!   nothing: any corruption is discarded with it.
+//! * An **empty entry** exposes nothing.
+
+/// Total storage bits per IQ entry.
+pub const IQ_ENTRY_BITS: u32 = micro_isa::ENCODED_BITS + 8;
+
+/// ACE bits exposed by a resident ACE instruction.
+pub const ACE_INST_BITS: u32 = micro_isa::ENCODED_BITS + 4;
+
+/// ACE bits exposed by a resident un-ACE (but committed) instruction.
+pub const UNACE_INST_BITS: u32 = 10;
+
+/// ACE bits exposed by a squashed instruction (none).
+pub const SQUASHED_INST_BITS: u32 = 0;
+
+/// ACE bits an instruction standing in the IQ exposes, given its
+/// (profiled or ground-truth) ACE-ness.
+#[inline]
+pub fn iq_ace_bits(is_ace: bool) -> u32 {
+    if is_ace {
+        ACE_INST_BITS
+    } else {
+        UNACE_INST_BITS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_consistent() {
+        assert_eq!(IQ_ENTRY_BITS, 72);
+        assert!(ACE_INST_BITS <= IQ_ENTRY_BITS);
+        assert!(UNACE_INST_BITS < ACE_INST_BITS);
+        assert_eq!(SQUASHED_INST_BITS, 0);
+    }
+
+    #[test]
+    fn ace_bits_dispatch() {
+        assert_eq!(iq_ace_bits(true), ACE_INST_BITS);
+        assert_eq!(iq_ace_bits(false), UNACE_INST_BITS);
+    }
+}

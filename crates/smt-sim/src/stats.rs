@@ -1,0 +1,167 @@
+//! Simulation statistics: whole-run counters, the ready-queue/ACE
+//! composition histogram of Figure 2, and per-interval snapshots.
+
+use sim_stats::{CompanionHistogram, IntervalSeries};
+
+/// Statistics of one closed sampling interval (default 10K cycles).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IntervalSnapshot {
+    pub start_cycle: u64,
+    pub cycles: u64,
+    /// Instructions committed during the interval (all threads).
+    pub committed: u64,
+    /// L2 data misses observed during the interval — the count opt2
+    /// compares against Tcache_miss.
+    pub l2_misses: u64,
+    /// Mean ready-queue length over the interval's cycles.
+    pub avg_ready_len: f64,
+    /// Mean IQ occupancy over the interval's cycles.
+    pub avg_iq_len: f64,
+    /// Online (hint-bit) IQ AVF estimate for the interval.
+    pub hint_avf: f64,
+}
+
+impl IntervalSnapshot {
+    /// Throughput IPC of the interval.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Whole-run statistics.
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    pub cycles: u64,
+    pub committed_per_thread: Vec<u64>,
+    pub squashed: u64,
+    pub fetched: u64,
+    pub wrong_path_fetched: u64,
+    pub branches: u64,
+    pub mispredicts: u64,
+    pub l2_misses: u64,
+    /// Of those, misses from wrong-path instructions (pollution).
+    pub l2_misses_wrong_path: u64,
+    /// Store-triggered L2 misses (no thread stall, but counted for opt2).
+    pub l2_misses_stores: u64,
+    pub flushes: u64,
+    /// Σ of IQ occupancy per cycle (avg = / cycles).
+    pub iq_occupancy_sum: u64,
+    /// Σ of ready-queue length per cycle.
+    pub ready_len_sum: u64,
+    /// Cycles on which dispatch was blocked by the governor while IQ
+    /// entries were free (the cost knob of opt1/DVM).
+    pub governor_stall_cycles: u64,
+    /// Front-end diagnostics: per-thread-attempt block outcomes.
+    pub fetch_blocked_icache: u64,
+    pub fetch_blocked_fq_full: u64,
+    pub fetch_blocked_gate: u64,
+    pub fetch_blocked_stall: u64,
+    pub fetch_blocks: u64,
+    /// Diagnostics: per-cycle sums of ready-queue composition.
+    pub diag_ready_selectable: u64,
+    pub diag_ready_selectable_ace: u64,
+    pub diag_executing: u64,
+    pub diag_executing_ace: u64,
+    pub diag_ready_wrong_path: u64,
+    /// Figure 2: ready-queue length distribution, each bucket carrying
+    /// the hint-ACE fraction among the ready instructions.
+    pub ready_queue_hist: CompanionHistogram,
+    /// Per-interval online (hint) AVF estimates.
+    pub interval_hint_avf: IntervalSeries,
+    /// All closed interval snapshots in order.
+    pub intervals: Vec<IntervalSnapshot>,
+}
+
+impl SimStats {
+    pub fn new(num_threads: usize) -> SimStats {
+        SimStats {
+            committed_per_thread: vec![0; num_threads],
+            ..SimStats::default()
+        }
+    }
+
+    pub fn total_committed(&self) -> u64 {
+        self.committed_per_thread.iter().sum()
+    }
+
+    /// Whole-run throughput IPC.
+    pub fn throughput_ipc(&self) -> f64 {
+        sim_stats::throughput_ipc(&self.committed_per_thread, self.cycles)
+    }
+
+    /// Whole-run harmonic IPC (fairness-aware).
+    pub fn harmonic_ipc(&self) -> f64 {
+        sim_stats::harmonic_ipc(&self.committed_per_thread, self.cycles)
+    }
+
+    /// Mean ready-queue length over the whole run.
+    pub fn avg_ready_len(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.ready_len_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean IQ occupancy over the whole run.
+    pub fn avg_iq_occupancy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.iq_occupancy_sum as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misprediction rate.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_ipc() {
+        let s = IntervalSnapshot {
+            cycles: 100,
+            committed: 250,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert_eq!(IntervalSnapshot::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_metrics() {
+        let mut s = SimStats::new(2);
+        s.cycles = 100;
+        s.committed_per_thread = vec![100, 300];
+        s.ready_len_sum = 2_000;
+        s.iq_occupancy_sum = 5_000;
+        s.branches = 50;
+        s.mispredicts = 5;
+        assert!((s.throughput_ipc() - 4.0).abs() < 1e-12);
+        assert!((s.avg_ready_len() - 20.0).abs() < 1e-12);
+        assert!((s.avg_iq_occupancy() - 50.0).abs() < 1e-12);
+        assert!((s.mispredict_rate() - 0.1).abs() < 1e-12);
+        assert_eq!(s.total_committed(), 400);
+    }
+
+    #[test]
+    fn zero_cycle_stats_safe() {
+        let s = SimStats::new(1);
+        assert_eq!(s.throughput_ipc(), 0.0);
+        assert_eq!(s.avg_ready_len(), 0.0);
+        assert_eq!(s.mispredict_rate(), 0.0);
+    }
+}

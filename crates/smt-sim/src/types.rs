@@ -1,0 +1,191 @@
+//! In-flight instruction bookkeeping: a slab of [`InstInfo`] records
+//! indexed by [`InstId`].
+
+use micro_isa::{DynInst, Pc};
+
+/// Handle to an in-flight instruction record.
+pub type InstId = usize;
+
+/// Where an in-flight instruction currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstStage {
+    /// In a per-thread fetch queue.
+    Fetched,
+    /// Holding IQ + ROB (+ LSQ) entries, waiting for operands or select.
+    Dispatched,
+    /// Executing on a function unit.
+    Issued,
+    /// Finished execution, waiting to commit in order.
+    Completed,
+}
+
+/// Full bookkeeping for one in-flight instruction.
+#[derive(Debug, Clone)]
+pub struct InstInfo {
+    pub inst: DynInst,
+    pub stage: InstStage,
+    pub fetch_cycle: u64,
+    pub dispatch_cycle: Option<u64>,
+    pub issue_cycle: Option<u64>,
+    pub complete_cycle: Option<u64>,
+    /// Outstanding register producers (cleared as they complete).
+    pub waiting_on: [Option<InstId>; 2],
+    /// This load missed the L2 (set at issue when the access resolves).
+    pub l2_miss: bool,
+    /// This load missed the L1D.
+    pub l1_miss: bool,
+    /// Correct-path control instruction whose fetch-time prediction was
+    /// wrong; resolving it triggers recovery.
+    pub mispredicted: bool,
+    /// Gshare history checkpoint taken before this branch's prediction.
+    pub bp_history: u32,
+    /// RAS snapshot taken before this branch's prediction (branches only).
+    pub bp_ras: Option<Vec<Pc>>,
+}
+
+impl InstInfo {
+    pub fn new(inst: DynInst, fetch_cycle: u64) -> InstInfo {
+        InstInfo {
+            inst,
+            stage: InstStage::Fetched,
+            fetch_cycle,
+            dispatch_cycle: None,
+            issue_cycle: None,
+            complete_cycle: None,
+            waiting_on: [None, None],
+            l2_miss: false,
+            l1_miss: false,
+            mispredicted: false,
+            bp_history: 0,
+            bp_ras: None,
+        }
+    }
+
+    /// All register producers have completed.
+    #[inline]
+    pub fn sources_ready(&self) -> bool {
+        self.waiting_on.iter().all(|w| w.is_none())
+    }
+}
+
+/// A minimal slab allocator for instruction records. Free slots are
+/// recycled LIFO; the live count is tracked for leak assertions.
+#[derive(Debug, Default)]
+pub struct InstSlab {
+    slots: Vec<Option<InstInfo>>,
+    free: Vec<InstId>,
+    live: usize,
+}
+
+impl InstSlab {
+    pub fn new() -> InstSlab {
+        InstSlab::default()
+    }
+
+    pub fn insert(&mut self, info: InstInfo) -> InstId {
+        self.live += 1;
+        match self.free.pop() {
+            Some(id) => {
+                debug_assert!(self.slots[id].is_none());
+                self.slots[id] = Some(info);
+                id
+            }
+            None => {
+                self.slots.push(Some(info));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    pub fn remove(&mut self, id: InstId) -> InstInfo {
+        let info = self.slots[id].take().expect("double free of InstId");
+        self.free.push(id);
+        self.live -= 1;
+        info
+    }
+
+    #[inline]
+    pub fn get(&self, id: InstId) -> &InstInfo {
+        self.slots[id].as_ref().expect("stale InstId")
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, id: InstId) -> &mut InstInfo {
+        self.slots[id].as_mut().expect("stale InstId")
+    }
+
+    /// Is `id` currently live?
+    #[inline]
+    pub fn contains(&self, id: InstId) -> bool {
+        self.slots.get(id).map(|s| s.is_some()).unwrap_or(false)
+    }
+
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micro_isa::OpClass;
+
+    fn dummy() -> DynInst {
+        DynInst {
+            seq: 1,
+            tid: 0,
+            dyn_idx: 0,
+            pc: 0,
+            op: OpClass::IAlu,
+            dest: None,
+            srcs: [None, None],
+            mem_addr: None,
+            ctrl: None,
+            ace_hint: false,
+            wrong_path: false,
+        }
+    }
+
+    #[test]
+    fn slab_insert_get_remove() {
+        let mut slab = InstSlab::new();
+        let a = slab.insert(InstInfo::new(dummy(), 5));
+        let b = slab.insert(InstInfo::new(dummy(), 6));
+        assert_ne!(a, b);
+        assert_eq!(slab.get(a).fetch_cycle, 5);
+        assert_eq!(slab.live_count(), 2);
+        let info = slab.remove(a);
+        assert_eq!(info.fetch_cycle, 5);
+        assert!(!slab.contains(a));
+        assert!(slab.contains(b));
+        assert_eq!(slab.live_count(), 1);
+    }
+
+    #[test]
+    fn slab_recycles_slots() {
+        let mut slab = InstSlab::new();
+        let a = slab.insert(InstInfo::new(dummy(), 1));
+        slab.remove(a);
+        let b = slab.insert(InstInfo::new(dummy(), 2));
+        assert_eq!(a, b, "freed slot must be reused");
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut slab = InstSlab::new();
+        let a = slab.insert(InstInfo::new(dummy(), 1));
+        slab.remove(a);
+        slab.remove(a);
+    }
+
+    #[test]
+    fn sources_ready_logic() {
+        let mut info = InstInfo::new(dummy(), 0);
+        assert!(info.sources_ready());
+        info.waiting_on[0] = Some(7);
+        assert!(!info.sources_ready());
+        info.waiting_on[0] = None;
+        assert!(info.sources_ready());
+    }
+}

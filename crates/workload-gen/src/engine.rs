@@ -1,0 +1,346 @@
+//! The functional front end: walks a [`Program`] and produces the dynamic
+//! instruction stream the pipeline consumes.
+//!
+//! The engine is the simulator's stand-in for functional-first execution
+//! in M-Sim: it always knows the *architecturally correct* path (branch
+//! outcomes are deterministic functions of per-PC execution counts), so
+//! the pipeline can
+//!
+//! * fetch correct-path instructions with pre-resolved outcomes and
+//!   addresses,
+//! * detect a misprediction at fetch time (predictor choice ≠ recorded
+//!   outcome) and switch that thread to **wrong-path fetch** — real
+//!   instructions from the predicted target, marked `wrong_path`, which
+//!   occupy pipeline resources until the branch resolves and they are
+//!   squashed, and
+//! * **replay** correct-path instructions that a FLUSH rollback squashed,
+//!   by re-queuing the immutable `DynInst` descriptors in order.
+
+use crate::program::Program;
+use micro_isa::{BranchKind, CtrlOutcome, DynInst, OpClass, Pc, ThreadId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Functional front end for one hardware context.
+pub struct ThreadEngine {
+    program: Arc<Program>,
+    tid: ThreadId,
+    /// Next correct-path PC.
+    next_pc: Pc,
+    /// Per-thread dynamic instruction counter (correct path only).
+    dyn_idx: u64,
+    /// Per-static-instruction execution counts (correct path only); this
+    /// is the `k` that address patterns and branch semantics key on.
+    exec_counts: Vec<u64>,
+    /// Software call stack (return PCs) for `Call`/`Ret`.
+    call_stack: Vec<Pc>,
+    /// Squashed-but-correct instructions awaiting re-delivery (FLUSH).
+    replay: VecDeque<DynInst>,
+}
+
+impl ThreadEngine {
+    pub fn new(program: Arc<Program>, tid: ThreadId) -> ThreadEngine {
+        assert!(!program.is_empty(), "empty program");
+        let len = program.len();
+        let entry = program.entry;
+        ThreadEngine {
+            program,
+            tid,
+            next_pc: entry,
+            dyn_idx: 0,
+            exec_counts: vec![0; len],
+            call_stack: Vec::new(),
+            replay: VecDeque::new(),
+        }
+    }
+
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    pub fn program(&self) -> &Arc<Program> {
+        &self.program
+    }
+
+    /// Total correct-path instructions produced so far (replays are not
+    /// double-counted).
+    pub fn instructions_produced(&self) -> u64 {
+        self.dyn_idx
+    }
+
+    /// Number of squashed instructions waiting to be replayed.
+    pub fn replay_depth(&self) -> usize {
+        self.replay.len()
+    }
+
+    /// The PC the next [`Self::next_correct`] call will deliver (the
+    /// replay queue's head if a rollback is pending, else the
+    /// architectural next PC). Fetch uses this for the I-cache access.
+    pub fn peek_pc(&self) -> Pc {
+        match self.replay.front() {
+            Some(inst) => inst.pc,
+            None => self.program.wrap(self.next_pc),
+        }
+    }
+
+    /// Produce the next correct-path dynamic instruction. `seq` is left 0
+    /// for the pipeline to assign at fetch.
+    pub fn next_correct(&mut self) -> DynInst {
+        if let Some(inst) = self.replay.pop_front() {
+            return inst;
+        }
+        let pc = self.program.wrap(self.next_pc);
+        let s = self.program.inst(pc).clone();
+        let k = self.exec_counts[pc as usize];
+        self.exec_counts[pc as usize] += 1;
+
+        let mem_addr = s.mem.as_ref().map(|p| p.address(k));
+        let mut ctrl = None;
+        let mut next = pc + 1;
+        if let Some(b) = &s.branch {
+            let taken = match b.kind {
+                BranchKind::Ret => true,
+                _ => b.outcome(k, pc),
+            };
+            let target = match b.kind {
+                BranchKind::Ret => {
+                    // Pop the architectural call stack; a return with an
+                    // empty stack (only possible if execution wandered in
+                    // via wrong-path-like text layout) falls through.
+                    self.call_stack.pop().unwrap_or(pc + 1)
+                }
+                _ => b.target,
+            };
+            if b.kind == BranchKind::Call {
+                self.call_stack.push(pc + 1);
+                // Bound the stack: helpers never recurse, but defensive
+                // depth-capping keeps pathological programs finite.
+                if self.call_stack.len() > 64 {
+                    self.call_stack.remove(0);
+                }
+            }
+            next = if taken { target } else { pc + 1 };
+            ctrl = Some(CtrlOutcome {
+                taken,
+                next_pc: self.program.wrap(next),
+            });
+        }
+        self.next_pc = self.program.wrap(next);
+
+        let inst = DynInst {
+            seq: 0,
+            tid: self.tid,
+            dyn_idx: self.dyn_idx,
+            pc,
+            op: s.op,
+            dest: s.dest,
+            srcs: s.srcs,
+            mem_addr,
+            ctrl,
+            ace_hint: s.ace_hint || implicit_ace_hint(s.op),
+            wrong_path: false,
+        };
+        self.dyn_idx += 1;
+        inst
+    }
+
+    /// Produce a wrong-path instruction at `pc` (the predicted — wrong —
+    /// fetch target). Does not advance any architectural state.
+    ///
+    /// Outcomes and addresses are resolved with the *current* execution
+    /// count so they are plausible; they only matter for resource
+    /// occupancy, never for architectural state.
+    pub fn wrong_path_at(&self, pc: Pc) -> DynInst {
+        let pc = self.program.wrap(pc);
+        let s = self.program.inst(pc);
+        let k = self.exec_counts[pc as usize];
+        let mem_addr = s.mem.as_ref().map(|p| p.address(k));
+        let ctrl = s.branch.as_ref().map(|b| {
+            let taken = match b.kind {
+                BranchKind::Ret => true,
+                _ => b.outcome(k, pc),
+            };
+            let target = if b.kind == BranchKind::Ret {
+                pc + 1
+            } else {
+                b.target
+            };
+            CtrlOutcome {
+                taken,
+                next_pc: self.program.wrap(if taken { target } else { pc + 1 }),
+            }
+        });
+        DynInst {
+            seq: 0,
+            tid: self.tid,
+            dyn_idx: self.dyn_idx,
+            pc,
+            op: s.op,
+            dest: s.dest,
+            srcs: s.srcs,
+            mem_addr,
+            ctrl,
+            ace_hint: s.ace_hint || implicit_ace_hint(s.op),
+            wrong_path: true,
+        }
+    }
+
+    /// Re-queue squashed correct-path instructions (oldest first) for
+    /// re-delivery — the FLUSH fetch policy's rollback. The instructions
+    /// must be passed in ascending `dyn_idx` order and must all be
+    /// correct-path.
+    pub fn push_replay(&mut self, squashed: Vec<DynInst>) {
+        debug_assert!(squashed.iter().all(|i| !i.wrong_path));
+        debug_assert!(squashed.windows(2).all(|w| w[0].dyn_idx < w[1].dyn_idx));
+        if let (Some(first), Some(front)) = (squashed.first(), self.replay.front()) {
+            debug_assert!(
+                first.dyn_idx < front.dyn_idx,
+                "replay batches must arrive oldest-first"
+            );
+        }
+        for inst in squashed.into_iter().rev() {
+            self.replay.push_front(inst);
+        }
+    }
+}
+
+/// ACE hints that need no profiling: control transfers, stores and
+/// outputs are reliability-critical by construction (they are the sinks
+/// of the ACE definition), and the hardware knows this from the opcode
+/// alone. NOPs are never ACE. The profiled bit covers everything else.
+#[inline]
+pub fn implicit_ace_hint(op: OpClass) -> bool {
+    op.is_control() || matches!(op, OpClass::Store | OpClass::Output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::generate_program;
+    use crate::spec::model_by_name;
+
+    fn engine(name: &str) -> ThreadEngine {
+        let p = Arc::new(generate_program(&model_by_name(name).unwrap()));
+        ThreadEngine::new(p, 0)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let mut a = engine("gcc");
+        let mut b = engine("gcc");
+        for _ in 0..5_000 {
+            assert_eq!(a.next_correct(), b.next_correct());
+        }
+    }
+
+    #[test]
+    fn dyn_idx_monotonic_and_dense() {
+        let mut e = engine("swim");
+        for i in 0..1_000 {
+            assert_eq!(e.next_correct().dyn_idx, i);
+        }
+        assert_eq!(e.instructions_produced(), 1_000);
+    }
+
+    #[test]
+    fn control_flow_follows_outcomes() {
+        let mut e = engine("bzip2");
+        let mut prev: Option<DynInst> = None;
+        for _ in 0..10_000 {
+            let inst = e.next_correct();
+            if let Some(p) = &prev {
+                let expected = match p.ctrl {
+                    Some(c) => c.next_pc,
+                    None => e.program.wrap(p.pc + 1),
+                };
+                assert_eq!(inst.pc, expected, "discontinuity after {p:?}");
+            }
+            prev = Some(inst);
+        }
+    }
+
+    #[test]
+    fn returns_go_back_to_call_sites() {
+        let mut e = engine("perlbmk");
+        let mut call_sites: Vec<Pc> = Vec::new();
+        for _ in 0..50_000 {
+            let inst = e.next_correct();
+            if inst.op == OpClass::Call {
+                call_sites.push(inst.pc + 1);
+            } else if inst.op == OpClass::Ret {
+                let expected = call_sites.pop().expect("ret without call");
+                assert_eq!(inst.ctrl.unwrap().next_pc, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn loops_actually_iterate() {
+        let mut e = engine("lucas");
+        let mut seen = std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            *seen.entry(e.next_correct().pc).or_insert(0u32) += 1;
+        }
+        let max_repeats = seen.values().copied().max().unwrap();
+        assert!(max_repeats > 10, "no PC repeated; loops broken");
+    }
+
+    #[test]
+    fn replay_re_delivers_in_order() {
+        let mut e = engine("gap");
+        let stream: Vec<DynInst> = (0..100).map(|_| e.next_correct()).collect();
+        // Squash the last 30 and replay them.
+        let squashed = stream[70..].to_vec();
+        e.push_replay(squashed.clone());
+        for inst in &squashed {
+            assert_eq!(&e.next_correct(), inst);
+        }
+        // After replay, the stream continues fresh.
+        assert_eq!(e.next_correct().dyn_idx, 100);
+    }
+
+    #[test]
+    fn wrong_path_does_not_advance_state() {
+        let mut e = engine("mcf");
+        for _ in 0..10 {
+            e.next_correct();
+        }
+        let before = e.instructions_produced();
+        let w = e.wrong_path_at(3);
+        assert!(w.wrong_path);
+        assert_eq!(e.instructions_produced(), before);
+        // Correct path unaffected by wrong-path queries.
+        let mut f = engine("mcf");
+        for _ in 0..10 {
+            f.next_correct();
+        }
+        for _ in 0..50 {
+            let _ = e.wrong_path_at(7);
+        }
+        for _ in 0..100 {
+            assert_eq!(e.next_correct(), f.next_correct());
+        }
+    }
+
+    #[test]
+    fn sink_ops_carry_implicit_hints() {
+        let mut e = engine("twolf");
+        for _ in 0..5_000 {
+            let i = e.next_correct();
+            if i.op.is_control() || matches!(i.op, OpClass::Store | OpClass::Output) {
+                assert!(i.ace_hint, "sink op without hint: {i:?}");
+            }
+            if i.op == OpClass::Nop {
+                assert!(!i.ace_hint, "NOP tagged ACE");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_path_pc_wraps() {
+        let e = engine("eon");
+        let len = e.program().len() as u64;
+        let w = e.wrong_path_at(len + 5);
+        assert_eq!(w.pc, 5);
+    }
+}

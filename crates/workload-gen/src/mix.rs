@@ -1,0 +1,179 @@
+//! The paper's Table 3 SMT workload mixes.
+//!
+//! Nine 4-context workloads: three groups (A, B, C) per behaviour class
+//! (CPU, MIX, MEM). CPU workloads draw all four threads from the
+//! computation-intensive set, MEM from the memory-intensive set, and MIX
+//! takes half from each.
+
+use crate::model::BenchmarkModel;
+use crate::program::{generate_program, Program};
+use crate::spec::model_by_name;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Behaviour class of a workload mix (the paper's CPU / MIX / MEM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixGroup {
+    Cpu,
+    Mix,
+    Mem,
+}
+
+impl MixGroup {
+    pub const ALL: [MixGroup; 3] = [MixGroup::Cpu, MixGroup::Mix, MixGroup::Mem];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            MixGroup::Cpu => "CPU",
+            MixGroup::Mix => "MIX",
+            MixGroup::Mem => "MEM",
+        }
+    }
+}
+
+/// One 4-context SMT workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadMix {
+    /// e.g. "CPU-A".
+    pub name: String,
+    pub group: MixGroup,
+    /// The four benchmark names, in hardware-context order.
+    pub benchmarks: [&'static str; 4],
+}
+
+impl WorkloadMix {
+    /// The benchmark models of the four contexts.
+    pub fn models(&self) -> Vec<BenchmarkModel> {
+        self.benchmarks
+            .iter()
+            .map(|n| model_by_name(n).unwrap_or_else(|| panic!("unknown benchmark {n}")))
+            .collect()
+    }
+
+    /// Generate (or regenerate) the four programs. Identical benchmark
+    /// names in one mix share a single program text via `Arc`.
+    pub fn programs(&self) -> Vec<Arc<Program>> {
+        let mut cache: Vec<(&'static str, Arc<Program>)> = Vec::new();
+        self.benchmarks
+            .iter()
+            .map(|&n| {
+                if let Some((_, p)) = cache.iter().find(|(name, _)| *name == n) {
+                    Arc::clone(p)
+                } else {
+                    let p = Arc::new(generate_program(&model_by_name(n).unwrap()));
+                    cache.push((n, Arc::clone(&p)));
+                    Arc::clone(&cache.last().unwrap().1)
+                }
+            })
+            .collect()
+    }
+}
+
+/// All nine mixes of the paper's Table 3.
+pub fn standard_mixes() -> Vec<WorkloadMix> {
+    let table: [(&str, MixGroup, [&'static str; 4]); 9] = [
+        ("CPU-A", MixGroup::Cpu, ["bzip2", "eon", "gcc", "perlbmk"]),
+        ("CPU-B", MixGroup::Cpu, ["gap", "facerec", "crafty", "mesa"]),
+        ("CPU-C", MixGroup::Cpu, ["gcc", "perlbmk", "facerec", "crafty"]),
+        ("MIX-A", MixGroup::Mix, ["gcc", "mcf", "vpr", "perlbmk"]),
+        ("MIX-B", MixGroup::Mix, ["mcf", "mesa", "crafty", "equake"]),
+        ("MIX-C", MixGroup::Mix, ["vpr", "facerec", "swim", "gap"]),
+        ("MEM-A", MixGroup::Mem, ["mcf", "equake", "vpr", "swim"]),
+        ("MEM-B", MixGroup::Mem, ["lucas", "galgel", "mcf", "vpr"]),
+        ("MEM-C", MixGroup::Mem, ["equake", "swim", "twolf", "galgel"]),
+    ];
+    table
+        .into_iter()
+        .map(|(name, group, benchmarks)| WorkloadMix {
+            name: name.to_string(),
+            group,
+            benchmarks,
+        })
+        .collect()
+}
+
+/// Look up one of the nine standard mixes by name ("CPU-A" ... "MEM-C").
+pub fn mix_by_name(name: &str) -> Option<WorkloadMix> {
+    standard_mixes().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::BenchClass;
+
+    #[test]
+    fn nine_mixes_three_per_group() {
+        let mixes = standard_mixes();
+        assert_eq!(mixes.len(), 9);
+        for g in MixGroup::ALL {
+            assert_eq!(mixes.iter().filter(|m| m.group == g).count(), 3);
+        }
+    }
+
+    #[test]
+    fn all_mix_members_resolve_to_models() {
+        for mix in standard_mixes() {
+            assert_eq!(mix.models().len(), 4);
+        }
+    }
+
+    #[test]
+    fn cpu_mixes_are_all_cpu_intensive() {
+        for mix in standard_mixes().iter().filter(|m| m.group == MixGroup::Cpu) {
+            for model in mix.models() {
+                assert_eq!(model.class, BenchClass::CpuIntensive, "{}", mix.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mem_mixes_are_all_mem_intensive() {
+        for mix in standard_mixes().iter().filter(|m| m.group == MixGroup::Mem) {
+            for model in mix.models() {
+                assert_eq!(model.class, BenchClass::MemIntensive, "{}", mix.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_mixes_are_half_and_half() {
+        for mix in standard_mixes().iter().filter(|m| m.group == MixGroup::Mix) {
+            let cpu = mix
+                .models()
+                .iter()
+                .filter(|m| m.class == BenchClass::CpuIntensive)
+                .count();
+            assert_eq!(cpu, 2, "{} must be 2 CPU + 2 MEM", mix.name);
+        }
+    }
+
+    #[test]
+    fn duplicate_benchmarks_share_program_text() {
+        // MEM-B has mcf and vpr once each; CPU-C has no duplicates either —
+        // craft a synthetic duplicate mix to exercise the cache.
+        let mix = WorkloadMix {
+            name: "DUP".into(),
+            group: MixGroup::Cpu,
+            benchmarks: ["gcc", "gcc", "eon", "eon"],
+        };
+        let ps = mix.programs();
+        assert!(Arc::ptr_eq(&ps[0], &ps[1]));
+        assert!(Arc::ptr_eq(&ps[2], &ps[3]));
+        assert!(!Arc::ptr_eq(&ps[0], &ps[2]));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(mix_by_name("MEM-C").unwrap().group, MixGroup::Mem);
+        assert!(mix_by_name("XXX-Z").is_none());
+    }
+
+    #[test]
+    fn mixes_match_paper_table3() {
+        let m = mix_by_name("CPU-A").unwrap();
+        assert_eq!(m.benchmarks, ["bzip2", "eon", "gcc", "perlbmk"]);
+        let m = mix_by_name("MEM-A").unwrap();
+        assert_eq!(m.benchmarks, ["mcf", "equake", "vpr", "swim"]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Benchmark model parameters.
+//!
+//! A [`BenchmarkModel`] is the knob set from which a synthetic program is
+//! generated. The values for the eighteen SPEC CPU2000 programs used by
+//! the paper live in [`crate::spec`]; this module defines their meaning
+//! and the derived quantities the generator uses.
+
+use serde::{Deserialize, Serialize};
+
+/// Coarse workload class, matching the paper's grouping of SPEC programs
+/// into computation-intensive and memory-intensive sets (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BenchClass {
+    /// High ILP, small working set, few L2 misses (bzip2, eon, gcc, ...).
+    CpuIntensive,
+    /// Low ILP, large working set, frequent L2 misses (mcf, swim, ...).
+    MemIntensive,
+}
+
+/// All generator knobs for one synthetic benchmark.
+///
+/// Fractions are of *generated instructions* unless stated otherwise and
+/// need not sum to 1: memory/branch/NOP fractions are carved out first and
+/// the remainder is compute (split FP/integer by `frac_fp`).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchmarkModel {
+    /// SPEC-style short name ("bzip2", "mcf", ...).
+    pub name: &'static str,
+    pub class: BenchClass,
+
+    // ---- instruction mix ----
+    /// Fraction of *compute* instructions that are floating point.
+    pub frac_fp: f64,
+    /// Fraction of all instructions that are loads or stores.
+    pub frac_mem: f64,
+    /// Fraction of all instructions that are control transfers.
+    pub frac_branch: f64,
+    /// Fraction of all instructions that are NOPs (always un-ACE).
+    pub frac_nop: f64,
+    /// loads / (loads + stores).
+    pub load_frac: f64,
+
+    // ---- dependence structure ----
+    /// Mean serial dependence-chain length. Longer chains = less ILP.
+    pub dep_chain_depth: f64,
+    /// Probability that a source operand reads the most recent producer
+    /// (serialising) rather than an older, already-complete value.
+    pub dep_locality: f64,
+
+    // ---- memory behaviour ----
+    /// Total data footprint in bytes. Footprints beyond the 2 MB L2 cause
+    /// the L2-miss behaviour that drives opt2 / FLUSH / DVM triggers.
+    pub footprint: u64,
+    /// Fraction of memory ops using pseudo-random `Scatter` patterns
+    /// (pointer-chasing-like) instead of sequential strides.
+    pub scatter_frac: f64,
+    /// Stride in bytes for streaming accesses.
+    pub stride_bytes: u64,
+
+    // ---- control behaviour ----
+    /// Mean loop trip count.
+    pub avg_loop_trip: u32,
+    /// Taken probability of data-dependent (hard) branches.
+    pub branch_bias: f64,
+    /// Fraction of conditional branches that are data-dependent (hashed
+    /// pseudo-random) rather than easily-predicted loop back edges.
+    pub hard_branch_frac: f64,
+
+    // ---- reliability structure ----
+    /// Fraction of compute instructions whose results are dynamically dead
+    /// (never transitively reach a store/branch/output). These become
+    /// un-ACE instructions in the ground-truth analysis.
+    pub dead_code_frac: f64,
+    /// Fraction of compute instructions that follow the "overwritten
+    /// loop-local" pattern: the value is recomputed every iteration but
+    /// consumed only after loop exit, so only the final iteration's
+    /// instance is ACE. These create the false positives of PC-granularity
+    /// profiling quantified in the paper's Table 1.
+    pub mixed_ace_frac: f64,
+
+    // ---- program shape ----
+    /// Number of loop regions in the generated program.
+    pub num_regions: u32,
+    /// Min/max instructions per basic block.
+    pub block_len: (u32, u32),
+}
+
+impl BenchmarkModel {
+    /// Deterministic per-benchmark seed derived from the name (FNV-1a),
+    /// so every run of every experiment regenerates identical programs.
+    pub fn seed(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// Fraction of generated instructions that are compute ops.
+    pub fn frac_compute(&self) -> f64 {
+        (1.0 - self.frac_mem - self.frac_branch - self.frac_nop).max(0.0)
+    }
+
+    /// Basic sanity of the knob values.
+    pub fn validate(&self) -> Result<(), String> {
+        let fracs = [
+            ("frac_fp", self.frac_fp),
+            ("frac_mem", self.frac_mem),
+            ("frac_branch", self.frac_branch),
+            ("frac_nop", self.frac_nop),
+            ("load_frac", self.load_frac),
+            ("dep_locality", self.dep_locality),
+            ("scatter_frac", self.scatter_frac),
+            ("branch_bias", self.branch_bias),
+            ("hard_branch_frac", self.hard_branch_frac),
+            ("dead_code_frac", self.dead_code_frac),
+            ("mixed_ace_frac", self.mixed_ace_frac),
+        ];
+        for (name, v) in fracs {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} = {v} out of [0,1]"));
+            }
+        }
+        if self.frac_mem + self.frac_branch + self.frac_nop >= 1.0 {
+            return Err("mem+branch+nop fractions leave no compute".into());
+        }
+        if self.dead_code_frac + self.mixed_ace_frac >= 1.0 {
+            return Err("dead+mixed fractions leave no live compute".into());
+        }
+        if self.num_regions == 0 {
+            return Err("num_regions must be >= 1".into());
+        }
+        if self.block_len.0 == 0 || self.block_len.0 > self.block_len.1 {
+            return Err(format!("bad block_len {:?}", self.block_len));
+        }
+        if self.avg_loop_trip == 0 {
+            return Err("avg_loop_trip must be >= 1".into());
+        }
+        if self.footprint == 0 || self.stride_bytes == 0 {
+            return Err("footprint and stride must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> BenchmarkModel {
+        BenchmarkModel {
+            name: "test",
+            class: BenchClass::CpuIntensive,
+            frac_fp: 0.2,
+            frac_mem: 0.3,
+            frac_branch: 0.12,
+            frac_nop: 0.05,
+            load_frac: 0.7,
+            dep_chain_depth: 3.0,
+            dep_locality: 0.4,
+            footprint: 1 << 20,
+            scatter_frac: 0.2,
+            stride_bytes: 8,
+            avg_loop_trip: 16,
+            branch_bias: 0.6,
+            hard_branch_frac: 0.3,
+            dead_code_frac: 0.2,
+            mixed_ace_frac: 0.05,
+            num_regions: 8,
+            block_len: (6, 18),
+        }
+    }
+
+    #[test]
+    fn base_model_valid() {
+        base().validate().unwrap();
+    }
+
+    #[test]
+    fn seed_is_stable_and_name_dependent() {
+        let a = base();
+        let mut b = base();
+        assert_eq!(a.seed(), b.seed());
+        b.name = "other";
+        assert_ne!(a.seed(), b.seed());
+    }
+
+    #[test]
+    fn compute_fraction_complements_others() {
+        let m = base();
+        let total = m.frac_compute() + m.frac_mem + m.frac_branch + m.frac_nop;
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions() {
+        let mut m = base();
+        m.frac_mem = 1.5;
+        assert!(m.validate().is_err());
+        let mut m = base();
+        m.frac_mem = 0.6;
+        m.frac_branch = 0.3;
+        m.frac_nop = 0.2;
+        assert!(m.validate().is_err());
+        let mut m = base();
+        m.block_len = (10, 5);
+        assert!(m.validate().is_err());
+        let mut m = base();
+        m.num_regions = 0;
+        assert!(m.validate().is_err());
+        let mut m = base();
+        m.dead_code_frac = 0.7;
+        m.mixed_ace_frac = 0.4;
+        assert!(m.validate().is_err());
+    }
+}

@@ -1,0 +1,919 @@
+//! Deterministic synthetic program generation.
+//!
+//! A generated [`Program`] is a flat vector of [`StaticInst`]s (one PC per
+//! slot) organised as a ring of *loop regions* followed by a few callable
+//! helper functions:
+//!
+//! ```text
+//! region 0:  setup block
+//!            loop body  (blocks, forward if-then skips, dead chains,
+//!            loop tail   mixed-ACE overwrites, accumulators)
+//!            exit block (stores/outputs that consume loop results, calls)
+//! region 1:  ...
+//! ...
+//! jump to region 0              <- programs run forever; the simulator
+//! helper fn 0: ... ret             stops on an instruction budget
+//! helper fn 1: ... ret
+//! ```
+//!
+//! The generator places values in distinct *register domains* so that the
+//! ground-truth ACE analysis discovers the reliability structure the model
+//! asks for, rather than having it asserted:
+//!
+//! * **live** registers feed stores/outputs/branch conditions → ACE chains;
+//! * **dead** registers are only ever read by other dead-domain
+//!   instructions and never reach a sink → dynamically dead (un-ACE);
+//! * **mixed** registers are overwritten every iteration but consumed only
+//!   after loop exit → exactly one ACE instance per loop entry, which is
+//!   what makes PC-granularity profiling imperfect (paper Table 1);
+//! * **accumulators** (`acc = acc op x`) chain across iterations into a
+//!   post-loop store → every instance ACE.
+
+use crate::model::BenchmarkModel;
+use micro_isa::{
+    AddressPattern, BranchInfo, BranchKind, BranchSem, OpClass, Pc, Reg, StaticInst,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Register-domain layout (integer side; the FP side mirrors it).
+mod domains {
+    /// Loop induction / address index register; always live.
+    pub const INDUCTION: u8 = 0;
+    pub const LIVE: std::ops::Range<u8> = 1..12;
+    pub const DEAD: std::ops::Range<u8> = 12..18;
+    pub const MIXED: std::ops::Range<u8> = 18..26;
+    pub const ACC: std::ops::Range<u8> = 26..30;
+    /// Long-lived values (written once per region, read throughout):
+    /// loop invariants, base pointers, constants. Reading these exposes
+    /// ILP because they are almost always architecturally complete.
+    pub const LONG: std::ops::Range<u8> = 30..32;
+}
+
+/// A generated synthetic program.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Program {
+    pub name: String,
+    pub insts: Vec<StaticInst>,
+    pub entry: Pc,
+}
+
+impl Program {
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at `pc`, wrapping modulo the program length so
+    /// that wrong-path fetch off the end lands on *some* real text, as it
+    /// would in a real address space.
+    #[inline]
+    pub fn inst(&self, pc: Pc) -> &StaticInst {
+        &self.insts[(pc as usize) % self.insts.len()]
+    }
+
+    /// Wrap a PC into the program's address space.
+    #[inline]
+    pub fn wrap(&self, pc: Pc) -> Pc {
+        pc % self.insts.len() as u64
+    }
+
+    /// Install offline-profiled ACE hints: `hints[pc]` tags the static
+    /// instruction at `pc`. This is the paper's 1-bit ISA extension.
+    pub fn apply_ace_hints(&mut self, hints: &[bool]) {
+        assert_eq!(hints.len(), self.insts.len(), "hint table size mismatch");
+        for (inst, &h) in self.insts.iter_mut().zip(hints) {
+            inst.ace_hint = h;
+        }
+    }
+
+    /// Clear all ACE hints (pre-profiling state).
+    pub fn clear_ace_hints(&mut self) {
+        for inst in &mut self.insts {
+            inst.ace_hint = false;
+        }
+    }
+
+    /// Count static instructions per operation class (diagnostics).
+    pub fn op_histogram(&self) -> Vec<(OpClass, usize)> {
+        let mut counts: Vec<(OpClass, usize)> = Vec::new();
+        for inst in &self.insts {
+            match counts.iter_mut().find(|(op, _)| *op == inst.op) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((inst.op, 1)),
+            }
+        }
+        counts
+    }
+}
+
+/// Rotating pick of the next destination register in a domain.
+struct DomainCursor {
+    range: std::ops::Range<u8>,
+    next: u8,
+}
+
+impl DomainCursor {
+    fn new(range: std::ops::Range<u8>) -> Self {
+        let next = range.start;
+        DomainCursor { range, next }
+    }
+    fn advance(&mut self) -> u8 {
+        let r = self.next;
+        self.next += 1;
+        if self.next >= self.range.end {
+            self.next = self.range.start;
+        }
+        r
+    }
+}
+
+struct Gen {
+    rng: StdRng,
+    model: BenchmarkModel,
+    insts: Vec<StaticInst>,
+    live_int: DomainCursor,
+    live_fp: DomainCursor,
+    dead_int: DomainCursor,
+    dead_fp: DomainCursor,
+    /// Recently written live registers (most recent last), per class.
+    recent_int: Vec<Reg>,
+    recent_fp: Vec<Reg>,
+    /// Recently written dead registers.
+    recent_dead: Vec<Reg>,
+    /// Current region's mixed-register rotation and accumulator.
+    region_mixed: Vec<Reg>,
+    mixed_cursor: usize,
+    mixed_used: Vec<Reg>,
+    region_acc: Reg,
+    /// Destination of the most recent pointer-chase load (next chase
+    /// load's address depends on it).
+    last_chase: Option<Reg>,
+    /// Phase multipliers applied to the current region (see
+    /// `emit_region`): scale memory intensity and scatter share so the
+    /// program exhibits interval-scale vulnerability phases.
+    phase_mem_scale: f64,
+    phase_scatter_scale: f64,
+}
+
+impl Gen {
+    fn new(model: &BenchmarkModel) -> Gen {
+        Gen {
+            rng: StdRng::seed_from_u64(model.seed()),
+            model: model.clone(),
+            insts: Vec::new(),
+            live_int: DomainCursor::new(domains::LIVE),
+            live_fp: DomainCursor::new(domains::LIVE),
+            dead_int: DomainCursor::new(domains::DEAD),
+            dead_fp: DomainCursor::new(domains::DEAD),
+            recent_int: vec![Reg::int(domains::INDUCTION)],
+            recent_fp: Vec::new(),
+            recent_dead: Vec::new(),
+            region_mixed: vec![Reg::int(domains::MIXED.start)],
+            mixed_cursor: 0,
+            mixed_used: Vec::new(),
+            region_acc: Reg::int(domains::ACC.start),
+            last_chase: None,
+            phase_mem_scale: 1.0,
+            phase_scatter_scale: 1.0,
+        }
+    }
+
+    fn pc(&self) -> Pc {
+        self.insts.len() as Pc
+    }
+
+    fn push(&mut self, inst: StaticInst) -> Pc {
+        let pc = self.pc();
+        debug_assert_eq!(inst.pc, pc, "pc must match slot index");
+        debug_assert!(inst.is_well_formed(), "ill-formed generated inst: {inst}");
+        self.insts.push(inst);
+        pc
+    }
+
+    fn note_write(&mut self, reg: Reg, dead: bool) {
+        let list = if dead {
+            &mut self.recent_dead
+        } else {
+            match reg.class {
+                micro_isa::RegClass::Int => &mut self.recent_int,
+                micro_isa::RegClass::Fp => &mut self.recent_fp,
+            }
+        };
+        list.push(reg);
+        if list.len() > 12 {
+            list.remove(0);
+        }
+    }
+
+    /// Sample a live source operand. Three regimes, mirroring real code:
+    /// loop-invariant/long-lived values (usually complete → ILP), the most
+    /// recent producer (serialising chain, probability `dep_locality`),
+    /// or an older recent producer.
+    fn live_src(&mut self, fp: bool) -> Option<Reg> {
+        // Long-lived reads are the ILP lever: deeper-chain models read
+        // them less.
+        let old_frac = (0.50 - 0.06 * self.model.dep_chain_depth).clamp(0.12, 0.42);
+        if self.rng.random_bool(old_frac) {
+            let n = self
+                .rng
+                .random_range(domains::LONG.start..domains::LONG.end);
+            return Some(if fp { Reg::fp(n) } else { Reg::int(n) });
+        }
+        let list = if fp { &self.recent_fp } else { &self.recent_int };
+        if list.is_empty() {
+            return if fp {
+                None
+            } else {
+                Some(Reg::int(domains::INDUCTION))
+            };
+        }
+        let idx = if self.rng.random_bool(self.model.dep_locality) {
+            list.len() - 1
+        } else {
+            self.rng.random_range(0..list.len())
+        };
+        Some(list[idx])
+    }
+
+    fn dead_src(&mut self) -> Option<Reg> {
+        if self.recent_dead.is_empty() {
+            None
+        } else {
+            let idx = self.rng.random_range(0..self.recent_dead.len());
+            Some(self.recent_dead[idx])
+        }
+    }
+
+    fn compute_op(&mut self, fp: bool) -> OpClass {
+        if fp {
+            match self.rng.random_range(0..10) {
+                0..=5 => OpClass::FAlu,
+                6..=8 => OpClass::FMul,
+                9 => {
+                    if self.rng.random_bool(0.4) {
+                        OpClass::FSqrt
+                    } else {
+                        OpClass::FDiv
+                    }
+                }
+                _ => unreachable!(),
+            }
+        } else {
+            match self.rng.random_range(0..12) {
+                0..=9 => OpClass::IAlu,
+                10 => OpClass::IMul,
+                11 => OpClass::IDiv,
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// A memory address pattern for the instruction about to be emitted.
+    fn address_pattern(&mut self) -> AddressPattern {
+        let m = &self.model;
+        let pc_salt = self.pc().wrapping_mul(0x9e37_79b9);
+        let scatter_frac = (m.scatter_frac * self.phase_scatter_scale).min(0.9);
+        if self.rng.random_bool(scatter_frac) {
+            // MEM-class footprints scatter over everything (that is what
+            // defeats the L2); cache-resident footprints scatter over a
+            // hot sub-region so short runs actually reach steady state
+            // (full-footprint scatter would keep paying coupon-collector
+            // cold misses for millions of instructions).
+            let span = if m.footprint > 2 * 1024 * 1024 {
+                m.footprint
+            } else {
+                (m.footprint / 4).max(16 * 1024)
+            };
+            AddressPattern::Scatter {
+                base: 0,
+                span,
+                salt: pc_salt,
+            }
+        } else if self.rng.random_bool(0.1) {
+            AddressPattern::Fixed {
+                addr: pc_salt % m.footprint.max(64),
+            }
+        } else {
+            // A strided window: each static load walks its own slice of
+            // the footprint. Windows are kept small relative to the
+            // footprint so strided data is *re-used* (wrapping within a
+            // few thousand executions) — real programs revisit their hot
+            // arrays; pure streaming would turn every access into a cold
+            // miss. Large-footprint (MEM-class) models still miss heavily
+            // through their scatter accesses and the sheer number of
+            // windows.
+            let window = (m.footprint / 16).clamp(4 * 1024, 64 * 1024);
+            AddressPattern::Stride {
+                base: (pc_salt.wrapping_mul(4096)) % m.footprint.max(64),
+                stride: m.stride_bytes,
+                span: window,
+            }
+        }
+    }
+
+    /// Emit one body instruction (not control). `in_loop` enables the
+    /// mixed-ACE and accumulator patterns (which use the current region's
+    /// register choices).
+    fn emit_body_inst(&mut self, in_loop: bool) {
+        let m = self.model.clone();
+        let roll: f64 = self.rng.random();
+        let pc = self.pc();
+
+        let frac_mem = (m.frac_mem * self.phase_mem_scale).min(0.6);
+        if roll < m.frac_nop {
+            self.push(StaticInst::nop(pc));
+        } else if roll < m.frac_nop + frac_mem {
+            // Memory op.
+            let pattern = self.address_pattern();
+            if self.rng.random_bool(m.load_frac) {
+                let scatter = matches!(pattern, AddressPattern::Scatter { .. });
+                if scatter && self.rng.random_bool(0.7) {
+                    // Pointer-chase load: its address depends on the
+                    // previous chase load's result, so cache misses
+                    // serialize (mcf-style linked-structure traversal —
+                    // the low-MLP behaviour that makes L2 misses clog the
+                    // IQ instead of overlapping).
+                    let dest = Reg::int(self.live_int.advance());
+                    let addr_src = self.last_chase.unwrap_or(Reg::int(domains::INDUCTION));
+                    self.push(StaticInst::load(pc, dest, Some(addr_src), pattern));
+                    self.last_chase = Some(dest);
+                    self.note_write(dest, false);
+                } else {
+                    let fp = self.rng.random_bool(m.frac_fp);
+                    let dest = if fp {
+                        Reg::fp(self.live_fp.advance())
+                    } else {
+                        Reg::int(self.live_int.advance())
+                    };
+                    self.push(StaticInst::load(
+                        pc,
+                        dest,
+                        Some(Reg::int(domains::INDUCTION)),
+                        pattern,
+                    ));
+                    self.note_write(dest, false);
+                }
+            } else {
+                let fp = self.rng.random_bool(m.frac_fp);
+                let value = self
+                    .live_src(fp)
+                    .unwrap_or(Reg::int(domains::INDUCTION));
+                self.push(StaticInst::store(
+                    pc,
+                    value,
+                    Some(Reg::int(domains::INDUCTION)),
+                    pattern,
+                ));
+            }
+        } else {
+            // Compute op. Decide the destination domain.
+            let fp = self.rng.random_bool(m.frac_fp);
+            let domain_roll: f64 = self.rng.random();
+            let op = self.compute_op(fp);
+            if domain_roll < m.dead_code_frac {
+                // Dead chain: reads only dead-domain or long-lived
+                // sources and writes a dead reg that no sink ever
+                // consumes. (Long-lived registers stay ACE through their
+                // many live readers, so a dead read cannot perturb any
+                // classification; reading the rotating live pool would
+                // make live producers' ACE-ness flicker per instance and
+                // blur the Table 1 calibration.)
+                let dest = if fp {
+                    Reg::fp(self.dead_fp.advance())
+                } else {
+                    Reg::int(self.dead_int.advance())
+                };
+                let long = Reg::int(
+                    self.rng
+                        .random_range(domains::LONG.start..domains::LONG.end),
+                );
+                let s0 = self.dead_src().or(Some(long));
+                let s1 = if self.rng.random_bool(0.5) {
+                    self.dead_src()
+                } else {
+                    None
+                };
+                self.push(StaticInst::compute(pc, op, Some(dest), [s0, s1]));
+                self.note_write(dest, true);
+            } else if in_loop && domain_roll < m.dead_code_frac + m.mixed_ace_frac {
+                // Mixed-ACE pattern: overwrite one of the region's mixed
+                // registers every iteration; it is consumed once, after
+                // loop exit. Rotating through the pool keeps each static
+                // mixed instruction the sole per-iteration writer of its
+                // register, so exactly its loop-final instance is ACE.
+                let reg = self.region_mixed[self.mixed_cursor % self.region_mixed.len()];
+                self.mixed_cursor += 1;
+                if !self.mixed_used.contains(&reg) {
+                    self.mixed_used.push(reg);
+                }
+                let fp_mixed = reg.class == micro_isa::RegClass::Fp;
+                let s0 = self.live_src(fp_mixed);
+                let s1 = self.live_src(fp_mixed);
+                let op = self.compute_op(fp_mixed);
+                self.push(StaticInst::compute(pc, op, Some(reg), [s0, s1]));
+                // Deliberately NOT in `recent` lists: nothing inside the
+                // loop may read it, or earlier instances become ACE.
+            } else if in_loop && domain_roll < m.dead_code_frac + m.mixed_ace_frac + 0.06 {
+                // Accumulator: acc = acc op x. Every instance is ACE.
+                let acc_reg = self.region_acc;
+                let fp_acc = acc_reg.class == micro_isa::RegClass::Fp;
+                let s1 = self.live_src(fp_acc);
+                let op = if fp_acc { OpClass::FAlu } else { OpClass::IAlu };
+                self.push(StaticInst::compute(
+                    pc,
+                    op,
+                    Some(acc_reg),
+                    [Some(acc_reg), s1],
+                ));
+            } else {
+                // Plain live compute.
+                let dest = if fp {
+                    Reg::fp(self.live_fp.advance())
+                } else {
+                    Reg::int(self.live_int.advance())
+                };
+                let s0 = self.live_src(fp);
+                let s1 = if self.rng.random_bool(0.85) {
+                    self.live_src(fp)
+                } else {
+                    None
+                };
+                self.push(StaticInst::compute(pc, op, Some(dest), [s0, s1]));
+                self.note_write(dest, false);
+            }
+        }
+    }
+
+    /// Emit one loop region; returns nothing (instructions appended).
+    ///
+    /// Each region is one *program phase*: its inner loop is wrapped in
+    /// an outer loop so the region dwells for roughly an interval's worth
+    /// of instructions, and its memory behaviour is scaled up or down —
+    /// some regions are compute phases, some memory phases. This is what
+    /// gives the runtime IQ AVF the "time varying behavior" the paper's
+    /// DVM exists to manage: without phases, every sampling interval
+    /// looks alike and a reliability threshold is either always or never
+    /// exceeded.
+    fn emit_region(&mut self, helper_entries: &[Pc]) {
+        let m = self.model.clone();
+        // Phase character of this region.
+        match self.rng.random_range(0..4u32) {
+            0 => {
+                // Compute phase: little memory traffic.
+                self.phase_mem_scale = 0.35;
+                self.phase_scatter_scale = 0.25;
+            }
+            1 => {
+                // Memory phase: the vulnerability hot spot.
+                self.phase_mem_scale = 1.6;
+                self.phase_scatter_scale = 2.2;
+            }
+            _ => {
+                self.phase_mem_scale = 1.0;
+                self.phase_scatter_scale = 1.0;
+            }
+        }
+        let outer_entry = self.pc();
+        // Region setup: refresh a couple of live values.
+        for _ in 0..3 {
+            let pc = self.pc();
+            let dest = Reg::int(self.live_int.advance());
+            let s0 = self.live_src(false);
+            self.push(StaticInst::compute(pc, OpClass::IAlu, Some(dest), [s0, None]));
+            self.note_write(dest, false);
+        }
+        // Reset the induction register (dead-write then live immediately —
+        // modelled as reading itself so the chain stays live).
+        {
+            let pc = self.pc();
+            self.push(StaticInst::compute(
+                pc,
+                OpClass::IAlu,
+                Some(Reg::int(domains::INDUCTION)),
+                [Some(Reg::int(domains::INDUCTION)), None],
+            ));
+        }
+        // Refresh the long-lived values (loop invariants / base
+        // pointers) once per region, both classes.
+        for n in domains::LONG.start..domains::LONG.end {
+            let pc = self.pc();
+            self.push(StaticInst::compute(
+                pc,
+                OpClass::IAlu,
+                Some(Reg::int(n)),
+                [Some(Reg::int(domains::INDUCTION)), None],
+            ));
+            let pc = self.pc();
+            self.push(StaticInst::compute(
+                pc,
+                OpClass::FAlu,
+                Some(Reg::fp(n)),
+                [None, None],
+            ));
+        }
+
+        // Pick this region's mixed and accumulator registers. Several
+        // mixed registers rotate so that each mixed-pattern static
+        // instruction is the sole per-iteration writer of its register —
+        // a shared register would make all but the final static writer
+        // stably dead (correctly profiled, no Table 1 error).
+        let fp_heavy = self.rng.random_bool(m.frac_fp);
+        self.region_mixed = (domains::MIXED.start..domains::MIXED.end)
+            .map(|n| if fp_heavy { Reg::fp(n) } else { Reg::int(n) })
+            .collect();
+        self.mixed_cursor = 0;
+        self.mixed_used.clear();
+        self.region_acc = if fp_heavy {
+            Reg::fp(self.rng.random_range(domains::ACC.start..domains::ACC.end))
+        } else {
+            Reg::int(self.rng.random_range(domains::ACC.start..domains::ACC.end))
+        };
+        let acc_reg = self.region_acc;
+        // Flush the recent-producer lists: cross-region dataflow would
+        // otherwise make the previous region's final-iteration writes ACE
+        // while earlier iterations' were dead — incidental mixed
+        // behaviour that would drown the calibrated Table 1 floor.
+        self.recent_int.clear();
+        self.recent_int.push(Reg::int(domains::INDUCTION));
+        self.recent_fp.clear();
+        self.recent_dead.clear();
+        self.last_chase = None;
+
+        // Initialise the accumulator before the loop so its first in-loop
+        // read is defined.
+        {
+            let pc = self.pc();
+            let op = if acc_reg.class == micro_isa::RegClass::Fp {
+                OpClass::FAlu
+            } else {
+                OpClass::IAlu
+            };
+            let s0 = self.live_src(acc_reg.class == micro_isa::RegClass::Fp);
+            self.push(StaticInst::compute(pc, op, Some(acc_reg), [s0, None]));
+        }
+
+        let trip = {
+            let lo = (m.avg_loop_trip / 2).max(2);
+            let hi = m.avg_loop_trip * 3 / 2 + 1;
+            self.rng.random_range(lo..=hi)
+        };
+        let loop_head = self.pc();
+
+        // Loop body: 1-3 blocks, possibly separated by hard forward
+        // branches that skip a short then-block.
+        let num_blocks = self.rng.random_range(1..=3);
+        for b in 0..num_blocks {
+            let len = self.rng.random_range(m.block_len.0..=m.block_len.1);
+            for _ in 0..len {
+                self.emit_body_inst(true);
+            }
+            // Forward if-then skip branch between blocks. Most are easy
+            // (heavily biased, learnable); a `hard_branch_frac` share are
+            // data-dependent coin flips near the model's `branch_bias` —
+            // these produce the benchmark's misprediction rate.
+            if b + 1 < num_blocks && self.rng.random_bool(0.7) {
+                let hard = self.rng.random_bool(m.hard_branch_frac);
+                let taken_prob = if hard {
+                    m.branch_bias as f32
+                } else if self.rng.random_bool(0.5) {
+                    0.94
+                } else {
+                    0.06
+                };
+                let skip_len = self.rng.random_range(2..=5u32);
+                let br_pc = self.pc();
+                let target = br_pc + 1 + skip_len as u64;
+                let cond = self.live_src(false);
+                self.push(StaticInst::control(
+                    br_pc,
+                    OpClass::CondBranch,
+                    cond,
+                    BranchInfo {
+                        kind: BranchKind::Cond,
+                        target,
+                        sem: BranchSem::Biased { taken_prob },
+                    },
+                ));
+                for _ in 0..skip_len {
+                    self.emit_body_inst(true);
+                }
+            }
+        }
+
+        // Loop tail: bump the induction variable, then the back edge.
+        {
+            let pc = self.pc();
+            self.push(StaticInst::compute(
+                pc,
+                OpClass::IAlu,
+                Some(Reg::int(domains::INDUCTION)),
+                [Some(Reg::int(domains::INDUCTION)), None],
+            ));
+        }
+        {
+            let pc = self.pc();
+            self.push(StaticInst::control(
+                pc,
+                OpClass::CondBranch,
+                Some(Reg::int(domains::INDUCTION)),
+                BranchInfo {
+                    kind: BranchKind::Cond,
+                    target: loop_head,
+                    sem: BranchSem::LoopBack { trip },
+                },
+            ));
+        }
+
+        // Exit block: consume every mixed register the loop wrote, plus
+        // the accumulator — this is what makes exactly one instance per
+        // loop entry ACE for each mixed-pattern location, and all
+        // instances ACE for the accumulator.
+        let used = std::mem::take(&mut self.mixed_used);
+        for reg in used {
+            let pattern = self.address_pattern();
+            let pc = self.pc();
+            self.push(StaticInst::store(
+                pc,
+                reg,
+                Some(Reg::int(domains::INDUCTION)),
+                pattern,
+            ));
+        }
+        {
+            let pc = self.pc();
+            if self.rng.random_bool(0.3) {
+                self.push(StaticInst::compute(
+                    pc,
+                    OpClass::Output,
+                    None,
+                    [Some(acc_reg), None],
+                ));
+            } else {
+                let pattern = self.address_pattern();
+                self.push(StaticInst::store(
+                    pc,
+                    acc_reg,
+                    Some(Reg::int(domains::INDUCTION)),
+                    pattern,
+                ));
+            }
+        }
+
+        // Outer phase loop: re-enter this region enough times that the
+        // phase dwells at sampling-interval scale.
+        {
+            let outer_trip = self.rng.random_range(8..=32u32);
+            let pc = self.pc();
+            self.push(StaticInst::control(
+                pc,
+                OpClass::CondBranch,
+                Some(Reg::int(domains::INDUCTION)),
+                BranchInfo {
+                    kind: BranchKind::Cond,
+                    target: outer_entry,
+                    sem: BranchSem::LoopBack { trip: outer_trip },
+                },
+            ));
+        }
+
+        // Occasionally call a helper function.
+        if !helper_entries.is_empty() && self.rng.random_bool(0.5) {
+            let target = helper_entries[self.rng.random_range(0..helper_entries.len())];
+            let pc = self.pc();
+            self.push(StaticInst::control(
+                pc,
+                OpClass::Call,
+                None,
+                BranchInfo {
+                    kind: BranchKind::Call,
+                    target,
+                    sem: BranchSem::Always,
+                },
+            ));
+        }
+    }
+
+    /// Emit one helper function body ending in `Ret`; returns its entry
+    /// PC. Helper bodies are deliberately ACE-stable: they read only
+    /// long-lived registers, chain through a dedicated scratch register
+    /// and store the result, so every dynamic instance classifies
+    /// identically regardless of the calling context (shared code called
+    /// from many sites would otherwise be a large incidental source of
+    /// mixed ACE-ness).
+    fn emit_helper(&mut self) -> Pc {
+        let entry = self.pc();
+        let len = self.rng.random_range(4..=10);
+        let scratch = Reg::int(domains::ACC.end - 1);
+        let long = Reg::int(domains::LONG.start);
+        for i in 0..len {
+            let pc = self.pc();
+            let src = if i == 0 { long } else { scratch };
+            self.push(StaticInst::compute(
+                pc,
+                OpClass::IAlu,
+                Some(scratch),
+                [Some(src), Some(long)],
+            ));
+        }
+        {
+            let pattern = self.address_pattern();
+            let pc = self.pc();
+            self.push(StaticInst::store(
+                pc,
+                scratch,
+                Some(Reg::int(domains::INDUCTION)),
+                pattern,
+            ));
+        }
+        let pc = self.pc();
+        self.push(StaticInst::control(
+            pc,
+            OpClass::Ret,
+            None,
+            BranchInfo {
+                kind: BranchKind::Ret,
+                target: 0,
+                sem: BranchSem::Return,
+            },
+        ));
+        entry
+    }
+}
+
+/// Generate the synthetic program for a benchmark model. Fully
+/// deterministic: the RNG is seeded from the model name.
+pub fn generate_program(model: &BenchmarkModel) -> Program {
+    model
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid model {}: {e}", model.name));
+    let mut g = Gen::new(model);
+
+    // Reserve slot 0 region start. First pass: we need helper entries
+    // before regions call them, but helpers live *after* the main ring to
+    // keep the entry at PC 0. Solution: generate regions first with the
+    // helper entry PCs unknown, patching calls afterwards would complicate
+    // PCs — instead generate helpers in a scratch generator first to learn
+    // their sizes? Simpler and fully deterministic: generate the main ring
+    // with *placeholder* helper entries (self-jump targets), then emit the
+    // helpers and patch the call targets.
+    let num_helpers = 2usize;
+    let placeholder: Vec<Pc> = (0..num_helpers).map(|i| i as Pc).collect();
+
+    for _ in 0..model.num_regions {
+        g.emit_region(&placeholder);
+    }
+    // Close the ring.
+    {
+        let pc = g.pc();
+        g.push(StaticInst::control(
+            pc,
+            OpClass::Jump,
+            None,
+            BranchInfo {
+                kind: BranchKind::Jump,
+                target: 0,
+                sem: BranchSem::Always,
+            },
+        ));
+    }
+    // Emit helpers and patch call sites.
+    let helper_entries: Vec<Pc> = (0..num_helpers).map(|_| g.emit_helper()).collect();
+    for inst in &mut g.insts {
+        if inst.op == OpClass::Call {
+            if let Some(b) = &mut inst.branch {
+                b.target = helper_entries[(b.target as usize) % helper_entries.len()];
+            }
+        }
+    }
+
+    Program {
+        name: model.name.to_string(),
+        insts: g.insts,
+        entry: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::all_models;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = crate::spec::model_by_name("gcc").unwrap();
+        let a = generate_program(&m);
+        let b = generate_program(&m);
+        assert_eq!(a.insts, b.insts);
+    }
+
+    #[test]
+    fn different_benchmarks_differ() {
+        let a = generate_program(&crate::spec::model_by_name("gcc").unwrap());
+        let b = generate_program(&crate::spec::model_by_name("mcf").unwrap());
+        assert_ne!(a.insts, b.insts);
+    }
+
+    #[test]
+    fn all_generated_insts_well_formed() {
+        for m in all_models() {
+            let p = generate_program(&m);
+            assert!(p.len() > 100, "{} suspiciously small", m.name);
+            for inst in &p.insts {
+                assert!(inst.is_well_formed(), "{}: {inst}", m.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pcs_are_slot_indices() {
+        let p = generate_program(&crate::spec::model_by_name("swim").unwrap());
+        for (i, inst) in p.insts.iter().enumerate() {
+            assert_eq!(inst.pc, i as u64);
+        }
+    }
+
+    #[test]
+    fn branch_targets_in_range() {
+        for m in all_models() {
+            let p = generate_program(&m);
+            for inst in &p.insts {
+                if let Some(b) = &inst.branch {
+                    if b.kind != BranchKind::Ret {
+                        assert!(
+                            (b.target as usize) < p.len(),
+                            "{}: target {} out of range {}",
+                            m.name,
+                            b.target,
+                            p.len()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ring_closes_back_to_entry() {
+        let p = generate_program(&crate::spec::model_by_name("eon").unwrap());
+        let jump = p
+            .insts
+            .iter()
+            .find(|i| i.op == OpClass::Jump)
+            .expect("ring-closing jump");
+        assert_eq!(jump.branch.unwrap().target, 0);
+    }
+
+    #[test]
+    fn calls_target_helper_entries_that_return() {
+        let p = generate_program(&crate::spec::model_by_name("perlbmk").unwrap());
+        let rets: Vec<u64> = p
+            .insts
+            .iter()
+            .filter(|i| i.op == OpClass::Ret)
+            .map(|i| i.pc)
+            .collect();
+        assert!(!rets.is_empty());
+        for inst in &p.insts {
+            if inst.op == OpClass::Call {
+                let t = inst.branch.unwrap().target;
+                // The helper entry must precede some Ret.
+                assert!(rets.iter().any(|&r| r >= t), "call target {t} has no ret");
+            }
+        }
+    }
+
+    #[test]
+    fn hint_application_round_trips() {
+        let mut p = generate_program(&crate::spec::model_by_name("gap").unwrap());
+        let hints: Vec<bool> = (0..p.len()).map(|i| i % 3 == 0).collect();
+        p.apply_ace_hints(&hints);
+        for (i, inst) in p.insts.iter().enumerate() {
+            assert_eq!(inst.ace_hint, i % 3 == 0);
+        }
+        p.clear_ace_hints();
+        assert!(p.insts.iter().all(|i| !i.ace_hint));
+    }
+
+    #[test]
+    fn op_histogram_counts_everything() {
+        let p = generate_program(&crate::spec::model_by_name("mcf").unwrap());
+        let total: usize = p.op_histogram().iter().map(|(_, c)| c).sum();
+        assert_eq!(total, p.len());
+    }
+
+    #[test]
+    fn memory_heavy_models_emit_more_mem_ops() {
+        let cpu = generate_program(&crate::spec::model_by_name("bzip2").unwrap());
+        let mem = generate_program(&crate::spec::model_by_name("mcf").unwrap());
+        let frac = |p: &Program| {
+            p.insts.iter().filter(|i| i.op.is_mem()).count() as f64 / p.len() as f64
+        };
+        assert!(frac(&mem) > frac(&cpu));
+    }
+}

@@ -1,0 +1,240 @@
+//! The eighteen SPEC CPU2000 benchmark models used by the paper.
+//!
+//! Each entry is a synthetic stand-in whose generator knobs are set so the
+//! benchmark lands in the same *statistic bands* the paper depends on:
+//! CPU-intensive programs have small footprints, short dependence chains
+//! and few hard branches; MEM-intensive programs have multi-megabyte
+//! scattered footprints and low inherent ILP. The `mixed_ace_frac` knob is
+//! derived from the paper's **Table 1** per-benchmark PC-profiling
+//! accuracy: a program whose static locations often disagree about
+//! ACE-ness across dynamic instances (mesa: 74.9 %, vpr: 81.8 %) gets a
+//! proportionally larger share of "overwritten loop-local" patterns.
+
+use crate::model::{BenchClass, BenchmarkModel};
+
+/// Target PC-granularity ACE-identification accuracy from the paper's
+/// Table 1 (committed instructions only), used to derive each model's
+/// `mixed_ace_frac`.
+pub const TABLE1_ACCURACY: &[(&str, f64)] = &[
+    ("applu", 0.998),
+    ("bzip2", 0.878),
+    ("crafty", 0.894),
+    ("eon", 0.876),
+    ("equake", 0.991),
+    ("facerec", 0.937),
+    ("galgel", 0.988),
+    ("gap", 0.959),
+    ("gcc", 0.965),
+    ("lucas", 0.992),
+    ("mcf", 0.961),
+    ("mesa", 0.749),
+    ("mgrid", 0.999),
+    ("perlbmk", 0.999),
+    ("swim", 0.998),
+    ("twolf", 0.958),
+    ("vpr", 0.818),
+    ("wupwise", 0.975),
+];
+
+/// Calibrated `mixed_ace_frac` per benchmark: bisected offline (150 K
+/// instruction profiles, 40 K window) so that the measured PC-profiling
+/// accuracy of each synthetic model lands on its Table 1 target. The
+/// formula-derived value remains the fallback for ad-hoc models.
+pub const CALIBRATED_MIXED_FRAC: &[(&str, f64)] = &[
+    ("applu", 0.0003),
+    ("bzip2", 0.1069),
+    ("crafty", 0.0830),
+    ("eon", 0.0700),
+    ("equake", 0.0108),
+    ("facerec", 0.0396),
+    ("galgel", 0.0243),
+    ("gap", 0.0267),
+    ("gcc", 0.0249),
+    ("lucas", 0.0079),
+    ("mcf", 0.0200),
+    ("mesa", 0.3407),
+    ("mgrid", 0.0003),
+    ("perlbmk", 0.0003),
+    ("swim", 0.0003),
+    ("twolf", 0.0038),
+    ("vpr", 0.2100),
+    ("wupwise", 0.0097),
+];
+
+fn table1_accuracy(name: &str) -> f64 {
+    TABLE1_ACCURACY
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, a)| *a)
+        .unwrap_or(0.95)
+}
+
+/// Derive the fraction of compute instructions that must follow the
+/// mixed-ACE-ness pattern so PC-profiling accuracy lands near `acc`.
+///
+/// A mixed-pattern location with loop trip `t` mispredicts `(t-1)/t` of
+/// its committed instances (every instance except the loop-final one is
+/// dead, but the PC is tagged ACE). All other instruction kinds are
+/// predicted correctly, so
+/// `1 - acc ≈ mixed_frac_of_all_insts * (1 - 1/t)`.
+fn mixed_frac_for_accuracy(acc: f64, frac_compute: f64, trip: u32) -> f64 {
+    let t = trip.max(2) as f64;
+    let per_instance_error = 1.0 - 1.0 / t;
+    ((1.0 - acc) / (frac_compute * per_instance_error)).clamp(0.0, 0.6)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn model(
+    name: &'static str,
+    class: BenchClass,
+    frac_fp: f64,
+    frac_mem: f64,
+    frac_branch: f64,
+    dep_chain_depth: f64,
+    footprint: u64,
+    scatter_frac: f64,
+    avg_loop_trip: u32,
+    hard_branch_frac: f64,
+    dead_code_frac: f64,
+) -> BenchmarkModel {
+    let frac_nop = 0.04;
+    let frac_compute = 1.0 - frac_mem - frac_branch - frac_nop;
+    let mixed_ace_frac = CALIBRATED_MIXED_FRAC
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| {
+            mixed_frac_for_accuracy(table1_accuracy(name), frac_compute, avg_loop_trip)
+        });
+    let m = BenchmarkModel {
+        name,
+        class,
+        frac_fp,
+        frac_mem,
+        frac_branch,
+        frac_nop,
+        load_frac: 0.72,
+        dep_chain_depth,
+        dep_locality: (dep_chain_depth / (dep_chain_depth + 6.0)).clamp(0.1, 0.75),
+        footprint,
+        scatter_frac,
+        stride_bytes: 8,
+        avg_loop_trip,
+        branch_bias: 0.62,
+        hard_branch_frac,
+        dead_code_frac,
+        mixed_ace_frac,
+        num_regions: 12,
+        block_len: (6, 20),
+    };
+    m.validate()
+        .unwrap_or_else(|e| panic!("model {name} invalid: {e}"));
+    m
+}
+
+const KB: u64 = 1 << 10;
+const MB: u64 = 1 << 20;
+
+/// All eighteen benchmark models, in the alphabetical order of Table 1.
+pub fn all_models() -> Vec<BenchmarkModel> {
+    use BenchClass::{CpuIntensive as Cpu, MemIntensive as Mem};
+    vec![
+        // name      class  fp    mem   br    dep   footprint  scat  trip  hard  dead
+        model("applu", Mem, 0.85, 0.32, 0.04, 4.0, 12 * MB, 0.04, 48, 0.04, 0.08),
+        model("bzip2", Cpu, 0.02, 0.26, 0.13, 2.2, 192 * KB, 0.05, 14, 0.11, 0.08),
+        model("crafty", Cpu, 0.01, 0.28, 0.14, 2.0, 256 * KB, 0.08, 10, 0.14, 0.08),
+        model("eon", Cpu, 0.45, 0.30, 0.11, 2.4, 128 * KB, 0.05, 12, 0.10, 0.08),
+        model("equake", Mem, 0.80, 0.35, 0.06, 4.5, 24 * MB, 0.15, 32, 0.04, 0.08),
+        model("facerec", Cpu, 0.75, 0.28, 0.07, 2.6, 384 * KB, 0.04, 24, 0.05, 0.08),
+        model("galgel", Mem, 0.88, 0.34, 0.05, 3.8, 16 * MB, 0.08, 40, 0.03, 0.08),
+        model("gap", Cpu, 0.05, 0.27, 0.12, 2.3, 256 * KB, 0.06, 16, 0.09, 0.08),
+        model("gcc", Cpu, 0.02, 0.29, 0.15, 2.1, 320 * KB, 0.07, 9, 0.13, 0.08),
+        model("lucas", Mem, 0.90, 0.33, 0.03, 4.2, 20 * MB, 0.05, 64, 0.03, 0.08),
+        model("mcf", Mem, 0.03, 0.38, 0.10, 5.5, 48 * MB, 0.30, 20, 0.12, 0.08),
+        model("mesa", Cpu, 0.60, 0.27, 0.09, 2.5, 256 * KB, 0.05, 18, 0.07, 0.08),
+        model("mgrid", Mem, 0.90, 0.34, 0.03, 3.6, 14 * MB, 0.03, 56, 0.03, 0.08),
+        model("perlbmk", Cpu, 0.03, 0.30, 0.14, 2.2, 224 * KB, 0.06, 12, 0.11, 0.08),
+        model("swim", Mem, 0.88, 0.36, 0.03, 4.0, 32 * MB, 0.04, 60, 0.03, 0.08),
+        model("twolf", Mem, 0.10, 0.33, 0.12, 4.8, 8 * MB, 0.22, 15, 0.12, 0.08),
+        model("vpr", Mem, 0.12, 0.35, 0.11, 5.0, 18 * MB, 0.25, 16, 0.12, 0.08),
+        model("wupwise", Cpu, 0.82, 0.28, 0.05, 2.8, 512 * KB, 0.03, 36, 0.06, 0.08),
+    ]
+}
+
+/// Look up a model by its SPEC-style name.
+pub fn model_by_name(name: &str) -> Option<BenchmarkModel> {
+    all_models().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_models_all_valid() {
+        let models = all_models();
+        assert_eq!(models.len(), 18);
+        for m in &models {
+            m.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn names_unique_and_lookup_works() {
+        let models = all_models();
+        for m in &models {
+            assert_eq!(model_by_name(m.name).unwrap().name, m.name);
+        }
+        let mut names: Vec<_> = models.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn unknown_name_returns_none() {
+        assert!(model_by_name("doom3").is_none());
+    }
+
+    #[test]
+    fn class_separation_in_footprint() {
+        // Every MEM-intensive model must exceed the 2 MB L2; every
+        // CPU-intensive model must fit inside it.
+        for m in all_models() {
+            match m.class {
+                BenchClass::MemIntensive => assert!(m.footprint > 2 * MB, "{}", m.name),
+                BenchClass::CpuIntensive => assert!(m.footprint <= 2 * MB, "{}", m.name),
+            }
+        }
+    }
+
+    #[test]
+    fn low_accuracy_benchmarks_get_more_mixed_patterns() {
+        let mesa = model_by_name("mesa").unwrap();
+        let mgrid = model_by_name("mgrid").unwrap();
+        let vpr = model_by_name("vpr").unwrap();
+        assert!(mesa.mixed_ace_frac > vpr.mixed_ace_frac);
+        assert!(vpr.mixed_ace_frac > mgrid.mixed_ace_frac);
+    }
+
+    #[test]
+    fn table1_covers_all_models() {
+        for m in all_models() {
+            assert!(
+                TABLE1_ACCURACY.iter().any(|(n, _)| *n == m.name),
+                "{} missing from Table 1",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_frac_formula_sane() {
+        // Perfect accuracy needs no mixed patterns.
+        assert!(mixed_frac_for_accuracy(1.0, 0.5, 16) < 1e-12);
+        // Lower accuracy demands more.
+        let lo = mixed_frac_for_accuracy(0.95, 0.5, 16);
+        let hi = mixed_frac_for_accuracy(0.75, 0.5, 16);
+        assert!(hi > lo && hi <= 0.6);
+    }
+}

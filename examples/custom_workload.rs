@@ -1,0 +1,80 @@
+//! Building a custom synthetic benchmark and mix.
+//!
+//! The eighteen built-in models mimic the paper's SPEC CPU2000 programs,
+//! but the generator is fully parameterised: define your own
+//! `BenchmarkModel`, generate its program, profile it, and run any mix
+//! of custom and built-in threads.
+//!
+//! ```text
+//! cargo run --release --example custom_workload
+//! ```
+
+use smtsim::avf::{profiler, AvfCollector};
+use smtsim::reliability::Scheme;
+use smtsim::sim::{FetchPolicyKind, MachineConfig, Pipeline, SimLimits};
+use smtsim::workloads::{generate_program, model_by_name, BenchClass, BenchmarkModel};
+use std::sync::Arc;
+
+fn main() {
+    // A pathological pointer-chaser: huge scattered footprint, almost no
+    // ILP — an adversarial input for the shared issue queue.
+    let chaser = BenchmarkModel {
+        name: "chaser",
+        class: BenchClass::MemIntensive,
+        frac_fp: 0.05,
+        frac_mem: 0.45,
+        frac_branch: 0.08,
+        frac_nop: 0.02,
+        load_frac: 0.85,
+        dep_chain_depth: 6.0,
+        dep_locality: 0.6,
+        footprint: 64 << 20,
+        scatter_frac: 0.5,
+        stride_bytes: 8,
+        avg_loop_trip: 24,
+        branch_bias: 0.6,
+        hard_branch_frac: 0.1,
+        dead_code_frac: 0.1,
+        mixed_ace_frac: 0.05,
+        num_regions: 10,
+        block_len: (8, 16),
+    };
+    chaser.validate().expect("model knobs in range");
+
+    // Generate + profile it like any built-in benchmark.
+    let program = Arc::new(generate_program(&chaser));
+    let (tagged, profile) = profiler::profile_and_tag(&program, 150_000, 40_000);
+    println!(
+        "chaser: {} static instructions, PC-tag accuracy {:.1}%, {:.0}% dynamic ACE",
+        tagged.len(),
+        profile.accuracy * 100.0,
+        profile.dynamic_ace_fraction() * 100.0
+    );
+
+    // Mix it with three built-in compute-bound threads.
+    let mut programs = vec![tagged];
+    for name in ["gcc", "facerec", "perlbmk"] {
+        let p = Arc::new(generate_program(&model_by_name(name).unwrap()));
+        programs.push(profiler::profile_and_tag(&p, 150_000, 40_000).0);
+    }
+
+    let machine = MachineConfig::table2();
+    for (label, scheme) in [
+        ("baseline", Scheme::Baseline),
+        ("VISA+opt2", Scheme::VisaOpt2),
+    ] {
+        let (policies, _) = scheme.policies(FetchPolicyKind::Icount, machine.iq_size);
+        let mut pipeline = Pipeline::new(machine.clone(), programs.clone(), policies);
+        let start = pipeline.warm_up(600_000);
+        let mut collector = AvfCollector::standard(&machine).with_start_cycle(start);
+        let result = pipeline.run(SimLimits::cycles(400_000), &mut collector);
+        println!(
+            "{label:10} IPC {:.2}  IQ AVF {:.1}%  per-thread commits {:?}",
+            result.stats.throughput_ipc(),
+            collector.report().iq_avf * 100.0,
+            result.stats.committed_per_thread
+        );
+    }
+    println!("\n(one pointer-chasing thread inflates the shared IQ's vulnerability;");
+    println!(" VISA+opt2 claws it back by capping and flushing the offender.)");
+}

@@ -1,0 +1,77 @@
+//! Dynamic vulnerability management under a reliability budget.
+//!
+//! Measures a workload's MaxIQ_AVF on a baseline run, sets a reliability
+//! target as a fraction of it (the paper's Figures 8-9 use 0.7 ... 0.3),
+//! and shows DVM holding the runtime IQ AVF under the target: percentage
+//! of vulnerability emergencies (PVE) before/after, performance cost,
+//! and the controller's telemetry.
+//!
+//! ```text
+//! cargo run --release --example dvm_budget [MIX] [FRACTION]
+//! ```
+
+use smtsim::avf::{profiler, AvfCollector};
+use smtsim::reliability::Scheme;
+use smtsim::sim::{FetchPolicyKind, MachineConfig, Pipeline, SimLimits};
+use smtsim::workloads::mix_by_name;
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MEM-A".into());
+    let frac: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
+    let mix = mix_by_name(&mix_name).expect("standard mix name (CPU-A..MEM-C)");
+    let machine = MachineConfig::table2();
+    let tagged: Vec<_> = mix
+        .programs()
+        .iter()
+        .map(|p| profiler::profile_and_tag(p, 200_000, 40_000).0)
+        .collect();
+
+    let run = |scheme: Scheme| {
+        let (policies, handle) = scheme.policies(FetchPolicyKind::Icount, machine.iq_size);
+        let mut pipeline = Pipeline::new(machine.clone(), tagged.clone(), policies);
+        let start = pipeline.warm_up(800_000);
+        let mut collector = AvfCollector::standard(&machine).with_start_cycle(start);
+        let result = pipeline.run(SimLimits::cycles(800_000), &mut collector);
+        (collector.report(), result.stats, handle)
+    };
+
+    // Baseline: anchor MaxIQ_AVF and the uncontrolled PVE.
+    let (base_report, base_stats, _) = run(Scheme::Baseline);
+    let max_avf = base_report.max_interval_iq_avf();
+    let target = frac * max_avf;
+    println!("workload {mix_name}: MaxIQ_AVF = {:.1}%", max_avf * 100.0);
+    println!(
+        "reliability target = {frac:.1} x MaxIQ_AVF = {:.1}% interval IQ AVF",
+        target * 100.0
+    );
+    println!(
+        "baseline: PVE {:.0}% of {} intervals, IPC {:.2}",
+        base_report.iq_interval_avf.pve(target) * 100.0,
+        base_report.iq_interval_avf.len(),
+        base_stats.throughput_ipc()
+    );
+
+    // DVM with the adaptive ratio.
+    let (dvm_report, dvm_stats, handle) = run(Scheme::DvmDynamic { target });
+    println!(
+        "DVM:      PVE {:.0}%, IPC {:.2} ({:+.1}% vs baseline), harmonic IPC {:.2}",
+        dvm_report.iq_interval_avf.pve(target) * 100.0,
+        dvm_stats.throughput_ipc(),
+        (dvm_stats.throughput_ipc() / base_stats.throughput_ipc() - 1.0) * 100.0,
+        dvm_stats.harmonic_ipc()
+    );
+    let telemetry = handle.expect("DVM exposes telemetry");
+    let t = telemetry.lock();
+    println!(
+        "controller: {} trigger episodes ({} from L2 misses), {} restores,",
+        t.triggers, t.l2_triggers, t.restores
+    );
+    println!(
+        "            {} denied dispatch grants, average wq_ratio {:.2}",
+        t.denied_dispatches,
+        t.average_ratio()
+    );
+}

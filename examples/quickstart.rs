@@ -1,0 +1,51 @@
+//! Quickstart: simulate the paper's Table 2 SMT machine on a 4-context
+//! CPU-intensive workload and print the headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smtsim::avf::AvfCollector;
+use smtsim::reliability::Scheme;
+use smtsim::sim::{MachineConfig, Pipeline, SimLimits};
+use smtsim::workloads::mix_by_name;
+
+fn main() {
+    // The paper's machine: 8-wide SMT, 96-entry shared IQ, 4 contexts.
+    let machine = MachineConfig::table2();
+
+    // One of Table 3's workload mixes: bzip2 + eon + gcc + perlbmk.
+    let mix = mix_by_name("CPU-A").expect("standard mix");
+    println!("workload: {} = {:?}", mix.name, mix.benchmarks);
+
+    // Baseline policies: ICOUNT fetch, oldest-first issue, unlimited
+    // dispatch. (`Scheme` builds the paper's configurations; see the
+    // visa_pipeline example.)
+    let (policies, _) = Scheme::Baseline.policies(smtsim::sim::FetchPolicyKind::Icount, machine.iq_size);
+    let mut pipeline = Pipeline::new(machine.clone(), mix.programs(), policies);
+
+    // Warm caches and predictors (the SimPoint-fast-forward stand-in),
+    // then measure with ground-truth AVF collection attached.
+    let start = pipeline.warm_up(400_000);
+    let mut collector = AvfCollector::standard(&machine).with_start_cycle(start);
+    let result = pipeline.run(SimLimits::cycles(200_000), &mut collector);
+    let report = collector.report();
+
+    let stats = &result.stats;
+    println!("cycles simulated:    {}", stats.cycles);
+    println!("instructions:        {}", stats.total_committed());
+    println!("throughput IPC:      {:.2}", stats.throughput_ipc());
+    println!("harmonic IPC:        {:.2}", stats.harmonic_ipc());
+    println!("branch mispredicts:  {:.1}%", stats.mispredict_rate() * 100.0);
+    println!("L2 misses:           {}", stats.l2_misses);
+    println!("mean ready-queue:    {:.1}", stats.avg_ready_len());
+    println!();
+    println!("IQ  AVF: {:.1}%  <- the reliability hot-spot", report.iq_avf * 100.0);
+    println!("ROB AVF: {:.1}%", report.rob_avf * 100.0);
+    println!("RF  AVF: {:.1}%", report.rf_avf * 100.0);
+    println!("FU  AVF: {:.1}%", report.fu_avf * 100.0);
+    println!(
+        "committed instructions classified ACE: {:.0}%",
+        report.ace_fraction * 100.0
+    );
+}

@@ -1,0 +1,145 @@
+//! Cross-crate integration: the full profile → tag → simulate → analyze
+//! loop, determinism, and the paper's headline scheme ordering.
+
+use smtsim::avf::{profiler, AvfCollector};
+use smtsim::reliability::Scheme;
+use smtsim::sim::{FetchPolicyKind, MachineConfig, Pipeline, SimLimits};
+use smtsim::workloads::mix_by_name;
+use std::sync::Arc;
+
+fn tagged(mix: &str) -> Vec<Arc<smtsim::workloads::Program>> {
+    mix_by_name(mix)
+        .unwrap()
+        .programs()
+        .iter()
+        .map(|p| profiler::profile_and_tag(p, 60_000, 40_000).0)
+        .collect()
+}
+
+fn run(
+    programs: &[Arc<smtsim::workloads::Program>],
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+) -> (smtsim::avf::AvfReport, smtsim::sim::SimStats) {
+    let machine = MachineConfig::table2();
+    let (policies, _) = scheme.policies(fetch, machine.iq_size);
+    let mut pipeline = Pipeline::new(machine.clone(), programs.to_vec(), policies);
+    let start = pipeline.warm_up(250_000);
+    let mut collector = AvfCollector::standard(&machine).with_start_cycle(start);
+    let result = pipeline.run(SimLimits::cycles(120_000), &mut collector);
+    assert!(!result.deadlocked, "deadlock under {scheme:?}/{fetch:?}");
+    (collector.report(), result.stats)
+}
+
+#[test]
+fn full_loop_produces_consistent_reports() {
+    let programs = tagged("CPU-B");
+    let (report, stats) = run(&programs, Scheme::Baseline, FetchPolicyKind::Icount);
+    // Cross-crate consistency: the collector and the pipeline agree on
+    // scale.
+    assert!(report.committed > 0);
+    assert!(report.committed <= stats.total_committed());
+    assert!(report.cycles <= stats.cycles + 1);
+    for avf in [
+        report.iq_avf,
+        report.rob_avf,
+        report.rf_avf,
+        report.fu_avf,
+        report.lsq_avf,
+    ] {
+        assert!((0.0..=1.0).contains(&avf), "AVF out of range: {avf}");
+    }
+    assert!(stats.throughput_ipc() <= 8.0 + 1e-9, "beyond machine width");
+    assert!(stats.harmonic_ipc() <= stats.throughput_ipc() + 1e-9);
+}
+
+#[test]
+fn determinism_across_identical_campaigns() {
+    let a = {
+        let programs = tagged("MIX-B");
+        run(&programs, Scheme::VisaOpt2, FetchPolicyKind::Icount)
+    };
+    let b = {
+        let programs = tagged("MIX-B");
+        run(&programs, Scheme::VisaOpt2, FetchPolicyKind::Icount)
+    };
+    assert_eq!(a.1.total_committed(), b.1.total_committed());
+    assert_eq!(a.1.l2_misses, b.1.l2_misses);
+    assert_eq!(a.1.mispredicts, b.1.mispredicts);
+    assert!((a.0.iq_avf - b.0.iq_avf).abs() < 1e-12);
+}
+
+#[test]
+fn visa_family_reduces_iq_avf_on_mem_mix() {
+    let programs = tagged("MEM-C");
+    let (base, base_stats) = run(&programs, Scheme::Baseline, FetchPolicyKind::Icount);
+    let (visa, _) = run(&programs, Scheme::Visa, FetchPolicyKind::Icount);
+    let (opt2, opt2_stats) = run(&programs, Scheme::VisaOpt2, FetchPolicyKind::Icount);
+    assert!(
+        visa.iq_avf <= base.iq_avf * 1.05,
+        "VISA must not inflate AVF: {} vs {}",
+        visa.iq_avf,
+        base.iq_avf
+    );
+    assert!(
+        opt2.iq_avf < base.iq_avf * 0.9,
+        "VISA+opt2 must cut MEM AVF: {} vs {}",
+        opt2.iq_avf,
+        base.iq_avf
+    );
+    // opt2 must not collapse throughput (the paper's point vs opt1).
+    assert!(
+        opt2_stats.throughput_ipc() > base_stats.throughput_ipc() * 0.5,
+        "opt2 IPC collapsed: {} vs {}",
+        opt2_stats.throughput_ipc(),
+        base_stats.throughput_ipc()
+    );
+}
+
+#[test]
+fn hints_survive_the_decode_path() {
+    // The profiled bit must be visible on committed instructions: run
+    // with an observer that checks hint presence statistics.
+    use smtsim::sim::{RetireEvent, SimObserver};
+    struct HintCounter {
+        committed: u64,
+        hinted: u64,
+    }
+    impl SimObserver for HintCounter {
+        fn on_commit(&mut self, ev: &RetireEvent) {
+            self.committed += 1;
+            if ev.inst.ace_hint {
+                self.hinted += 1;
+            }
+        }
+    }
+    let programs = tagged("CPU-C");
+    let machine = MachineConfig::table2();
+    let (policies, _) = Scheme::Visa.policies(FetchPolicyKind::Icount, machine.iq_size);
+    let mut pipeline = Pipeline::new(machine, programs, policies);
+    let mut obs = HintCounter {
+        committed: 0,
+        hinted: 0,
+    };
+    pipeline.run(SimLimits::instructions(50_000), &mut obs);
+    let share = obs.hinted as f64 / obs.committed as f64;
+    assert!(
+        (0.2..0.95).contains(&share),
+        "hinted share {share} implausible"
+    );
+}
+
+#[test]
+fn warmup_then_measure_has_no_cold_start_artifacts() {
+    // Measured stats must start from zero after warm_up.
+    let programs = tagged("CPU-A");
+    let machine = MachineConfig::table2();
+    let (policies, _) = Scheme::Baseline.policies(FetchPolicyKind::Icount, machine.iq_size);
+    let mut pipeline = Pipeline::new(machine, programs, policies);
+    pipeline.warm_up(100_000);
+    assert_eq!(pipeline.stats().total_committed(), 0);
+    assert_eq!(pipeline.stats().l2_misses, 0);
+    let mut sink = smtsim::sim::NullObserver;
+    let r = pipeline.run(SimLimits::cycles(20_000), &mut sink);
+    assert_eq!(r.stats.cycles, 20_000);
+}

@@ -1,0 +1,36 @@
+//! Smoke coverage of the experiment harness from outside the crate: the
+//! static exhibits render correctly and the umbrella crate's quickstart
+//! path works.
+
+use smtsim::experiments::context::{ExperimentContext, ExperimentParams};
+use smtsim::experiments::{quick, table2, table3};
+
+#[test]
+fn quickstart_smoke() {
+    let summary = quick::visa_demo_config().run_smoke();
+    assert!(summary.cycles > 0);
+    assert!(summary.ipc > 0.0);
+    assert!((0.0..=1.0).contains(&summary.iq_avf));
+}
+
+#[test]
+fn static_exhibits_render() {
+    let ctx = ExperimentContext::new(ExperimentParams::fast());
+    let t2 = table2::render(&ctx.machine).to_text();
+    assert!(t2.contains("96 entries (shared)"));
+    let t3 = table3::render().to_text();
+    assert!(t3.contains("bzip2, eon, gcc, perlbmk"));
+}
+
+#[test]
+fn umbrella_reexports_cover_every_subsystem() {
+    // Compile-time visibility check: each re-export resolves and basic
+    // constructors work.
+    let _ = smtsim::isa::OpClass::Load;
+    let _ = smtsim::workloads::standard_mixes();
+    let _ = smtsim::bpred::BranchPredictor::table2(2);
+    let _ = smtsim::mem::MemoryHierarchy::table2();
+    let _ = smtsim::sim::MachineConfig::table2();
+    let _ = smtsim::reliability::Scheme::Baseline;
+    let _ = smtsim::stats::Histogram::new();
+}

@@ -1,0 +1,123 @@
+//! Property-based integration tests: arbitrary (valid) benchmark models
+//! and machine variations must never break the simulator's invariants.
+
+use proptest::prelude::*;
+use smtsim::avf::{profiler, AvfCollector};
+use smtsim::reliability::Scheme;
+use smtsim::sim::pipeline::PipelinePolicies;
+use smtsim::sim::{FetchPolicyKind, MachineConfig, Pipeline, SimLimits};
+use smtsim::workloads::{generate_program, BenchClass, BenchmarkModel};
+use std::sync::Arc;
+
+/// Strategy: a structurally valid benchmark model with wide-ranging
+/// behaviour knobs.
+fn arb_model() -> impl Strategy<Value = BenchmarkModel> {
+    (
+        0.0f64..0.9,     // frac_fp
+        0.05f64..0.45,   // frac_mem
+        0.02f64..0.18,   // frac_branch
+        1.5f64..6.0,     // dep_chain_depth
+        16u64..65_536,   // footprint KB
+        0.0f64..0.8,     // scatter_frac
+        2u32..64,        // avg_loop_trip
+        0.0f64..0.4,     // hard_branch_frac
+        0.0f64..0.3,     // dead_code_frac
+        0.0f64..0.3,     // mixed_ace_frac
+        2u32..16,        // num_regions
+    )
+        .prop_map(
+            |(fp, mem, br, dep, fkb, scat, trip, hard, dead, mixed, regions)| BenchmarkModel {
+                name: "prop",
+                class: if fkb > 2048 {
+                    BenchClass::MemIntensive
+                } else {
+                    BenchClass::CpuIntensive
+                },
+                frac_fp: fp,
+                frac_mem: mem,
+                frac_branch: br,
+                frac_nop: 0.04,
+                load_frac: 0.72,
+                dep_chain_depth: dep,
+                dep_locality: 0.3,
+                footprint: fkb * 1024,
+                scatter_frac: scat,
+                stride_bytes: 8,
+                avg_loop_trip: trip,
+                branch_bias: 0.6,
+                hard_branch_frac: hard,
+                dead_code_frac: dead,
+                mixed_ace_frac: mixed,
+                num_regions: regions,
+                block_len: (4, 14),
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid model generates a well-formed program whose profile and
+    /// short simulation respect the global invariants.
+    #[test]
+    fn random_models_simulate_within_invariants(model in arb_model()) {
+        prop_assume!(model.validate().is_ok());
+        let program = Arc::new(generate_program(&model));
+        prop_assert!(program.len() > 50);
+        for inst in &program.insts {
+            prop_assert!(inst.is_well_formed());
+        }
+
+        // Profile: accuracy and ACE fractions are probabilities; the
+        // PC fold admits no false negatives (accuracy >= ACE share).
+        let (tagged, profile) = profiler::profile_and_tag(&program, 20_000, 10_000);
+        prop_assert!((0.0..=1.0).contains(&profile.accuracy));
+        prop_assert!(profile.accuracy + 1e-9 >= profile.dynamic_ace_fraction());
+
+        // Simulate 4 copies under VISA+opt2 (the most intrusive
+        // open-loop scheme).
+        let machine = MachineConfig::table2();
+        let (policies, _) = Scheme::VisaOpt2.policies(FetchPolicyKind::Icount, machine.iq_size);
+        let programs = vec![tagged; 4];
+        let mut pipeline = Pipeline::new(machine.clone(), programs, policies);
+        let mut collector = AvfCollector::new(&machine, 10_000, 5_000);
+        let result = pipeline.run(SimLimits::instructions(15_000), &mut collector);
+        prop_assert!(!result.deadlocked);
+        prop_assert!(result.stats.throughput_ipc() <= 8.0 + 1e-9);
+        let report = collector.report();
+        for avf in [report.iq_avf, report.rob_avf, report.rf_avf, report.fu_avf, report.lsq_avf] {
+            prop_assert!((0.0..=1.0).contains(&avf), "AVF {avf}");
+        }
+        for s in report.iq_interval_avf.samples() {
+            prop_assert!((0.0..=1.0).contains(s), "interval AVF {s}");
+        }
+    }
+
+    /// DVM respects its contract for arbitrary targets: no deadlock, and
+    /// the PVE never *exceeds* the baseline's by more than noise.
+    #[test]
+    fn dvm_never_makes_reliability_worse(frac in 0.2f64..0.9) {
+        let mix = smtsim::workloads::mix_by_name("MIX-C").unwrap();
+        let tagged: Vec<_> = mix.programs().iter()
+            .map(|p| profiler::profile_and_tag(p, 20_000, 10_000).0)
+            .collect();
+        let machine = MachineConfig::table2();
+        let run = |policies: PipelinePolicies| {
+            let mut pipeline = Pipeline::new(machine.clone(), tagged.clone(), policies);
+            let start = pipeline.warm_up(120_000);
+            let mut collector = AvfCollector::standard(&machine).with_start_cycle(start);
+            let r = pipeline.run(SimLimits::cycles(60_000), &mut collector);
+            prop_assert!(!r.deadlocked);
+            Ok(collector.report())
+        };
+        let (bp, _) = Scheme::Baseline.policies(FetchPolicyKind::Icount, machine.iq_size);
+        let base = run(bp)?;
+        let target = frac * base.max_interval_iq_avf();
+        let (dp, _) = Scheme::DvmDynamic { target }.policies(FetchPolicyKind::Icount, machine.iq_size);
+        let dvm = run(dp)?;
+        let base_pve = base.iq_interval_avf.pve(target);
+        let dvm_pve = dvm.iq_interval_avf.pve(target);
+        prop_assert!(dvm_pve <= base_pve + 0.34,
+            "DVM worsened PVE: {dvm_pve} vs {base_pve} at frac {frac}");
+    }
+}
