@@ -116,7 +116,12 @@ impl<P> AceAnalyzer<P> {
     /// Feed one committed instruction (per-thread program order).
     /// Instructions that slide out of the window are passed to
     /// `finalize`.
-    pub fn push(&mut self, rec: AceInstRecord, payload: P, finalize: &mut impl FnMut(Finalized<P>)) {
+    pub fn push(
+        &mut self,
+        rec: AceInstRecord,
+        payload: P,
+        finalize: &mut impl FnMut(Finalized<P>),
+    ) {
         let tid = rec.tid as usize;
         let tw = &mut self.threads[tid];
         let idx = tw.base + tw.entries.len() as u64;
@@ -407,8 +412,16 @@ mod tests {
         let mut az: AceAnalyzer<u64> = AceAnalyzer::new(1, 100);
         let mut reads = Vec::new();
         az.push(rec(OpClass::IAlu, Some(a), [None, None], 5), 0, &mut |_| {});
-        az.push(rec(OpClass::Store, None, [Some(a), None], 9), 1, &mut |_| {});
-        az.push(rec(OpClass::Store, None, [Some(a), None], 14), 2, &mut |_| {});
+        az.push(
+            rec(OpClass::Store, None, [Some(a), None], 9),
+            1,
+            &mut |_| {},
+        );
+        az.push(
+            rec(OpClass::Store, None, [Some(a), None], 14),
+            2,
+            &mut |_| {},
+        );
         az.drain(&mut |f| reads.push((f.payload, f.last_read_cycle)));
         reads.sort_unstable();
         assert_eq!(reads[0], (0, Some(14)), "last read at cycle 14");

@@ -38,7 +38,7 @@ struct Accum {
 }
 
 /// The finished report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AvfReport {
     pub cycles: u64,
     /// Whole-run AVF per structure, each in [0,1].
@@ -141,8 +141,8 @@ impl AvfCollector {
             let pre = wb.saturating_sub(d) as f64;
             let post = t.retire.saturating_sub(wb) as f64;
             if f.ace {
-                accum.rob_ace_bit_cycles += pre * layout::ROB_ACE_PRE_WB as f64
-                    + post * layout::ROB_ACE_POST_WB as f64;
+                accum.rob_ace_bit_cycles +=
+                    pre * layout::ROB_ACE_PRE_WB as f64 + post * layout::ROB_ACE_POST_WB as f64;
             } else {
                 accum.rob_ace_bit_cycles += (pre + post) * layout::ROB_ACE_UNACE as f64;
             }
@@ -197,20 +197,14 @@ impl AvfCollector {
         let iq_total = self.config.iq_size as f64 * smt_sim::layout::IQ_ENTRY_BITS as f64;
         let rob_total = nt * self.config.rob_size as f64 * layout::ROB_ENTRY_BITS as f64;
         let lsq_total = nt * self.config.lsq_size as f64 * layout::LSQ_ENTRY_BITS as f64;
-        let rf_total =
-            nt * micro_isa::reg::NUM_REGS as f64 * layout::RF_REG_BITS as f64;
+        let rf_total = nt * micro_isa::reg::NUM_REGS as f64 * layout::RF_REG_BITS as f64;
         let fu_units: usize = self.config.fu_pool_sizes.iter().sum();
         let fu_total = fu_units as f64 * layout::FU_LATCH_BITS as f64;
 
         let mut series = IntervalSeries::new();
         let full_intervals = (self.final_cycle / self.interval_cycles) as usize;
         for k in 0..full_intervals {
-            let bits = self
-                .accum
-                .iq_interval_bits
-                .get(k)
-                .copied()
-                .unwrap_or(0.0);
+            let bits = self.accum.iq_interval_bits.get(k).copied().unwrap_or(0.0);
             series.push(bits / (self.interval_cycles as f64 * iq_total));
         }
 
@@ -265,9 +259,8 @@ impl SimObserver for AvfCollector {
         self.final_cycle = final_cycle.saturating_sub(self.start_cycle);
         let accum = &mut self.accum;
         let interval = self.interval_cycles;
-        self.analyzer.drain(&mut |f| {
-            Self::finalize_into(accum, interval, f)
-        });
+        self.analyzer
+            .drain(&mut |f| Self::finalize_into(accum, interval, f));
     }
 }
 
@@ -319,8 +312,24 @@ mod tests {
         let cfg = small_config();
         let mut c = AvfCollector::new(&cfg, 100, 1_000);
         let r1 = Reg::int(1);
-        c.on_commit(&commit_ev(0, OpClass::IAlu, Some(r1), [None, None], 0, 10, 12));
-        c.on_commit(&commit_ev(0, OpClass::Store, None, [Some(r1), None], 2, 11, 13));
+        c.on_commit(&commit_ev(
+            0,
+            OpClass::IAlu,
+            Some(r1),
+            [None, None],
+            0,
+            10,
+            12,
+        ));
+        c.on_commit(&commit_ev(
+            0,
+            OpClass::Store,
+            None,
+            [Some(r1), None],
+            2,
+            11,
+            13,
+        ));
         c.on_finish(1_000);
         let rep = c.report();
         assert!(rep.iq_avf > 0.0);
@@ -335,9 +344,25 @@ mod tests {
         let mk = |ace_chain: bool| {
             let mut c = AvfCollector::new(&cfg, 100, 1_000);
             let r1 = Reg::int(1);
-            c.on_commit(&commit_ev(0, OpClass::IAlu, Some(r1), [None, None], 0, 50, 52));
+            c.on_commit(&commit_ev(
+                0,
+                OpClass::IAlu,
+                Some(r1),
+                [None, None],
+                0,
+                50,
+                52,
+            ));
             if ace_chain {
-                c.on_commit(&commit_ev(0, OpClass::Store, None, [Some(r1), None], 1, 51, 53));
+                c.on_commit(&commit_ev(
+                    0,
+                    OpClass::Store,
+                    None,
+                    [Some(r1), None],
+                    1,
+                    51,
+                    53,
+                ));
             }
             c.on_finish(1_000);
             c.report().iq_avf
@@ -352,8 +377,24 @@ mod tests {
         // One ACE instruction resident in the IQ across cycles 50..250:
         // overlaps intervals 0 (50 cycles), 1 (100), 2 (50).
         let r1 = Reg::int(1);
-        c.on_commit(&commit_ev(0, OpClass::IAlu, Some(r1), [None, None], 50, 250, 260));
-        c.on_commit(&commit_ev(0, OpClass::Store, None, [Some(r1), None], 51, 255, 261));
+        c.on_commit(&commit_ev(
+            0,
+            OpClass::IAlu,
+            Some(r1),
+            [None, None],
+            50,
+            250,
+            260,
+        ));
+        c.on_commit(&commit_ev(
+            0,
+            OpClass::Store,
+            None,
+            [Some(r1), None],
+            51,
+            255,
+            261,
+        ));
         c.on_finish(400);
         let rep = c.report();
         let s = rep.iq_interval_avf.samples();
@@ -382,8 +423,24 @@ mod tests {
         let mut c = AvfCollector::new(&cfg, 100, 1_000);
         let r1 = Reg::int(1);
         // Producer completes at 10; the last read commits at 200.
-        c.on_commit(&commit_ev(0, OpClass::IAlu, Some(r1), [None, None], 0, 10, 12));
-        c.on_commit(&commit_ev(0, OpClass::Store, None, [Some(r1), None], 2, 195, 200));
+        c.on_commit(&commit_ev(
+            0,
+            OpClass::IAlu,
+            Some(r1),
+            [None, None],
+            0,
+            10,
+            12,
+        ));
+        c.on_commit(&commit_ev(
+            0,
+            OpClass::Store,
+            None,
+            [Some(r1), None],
+            2,
+            195,
+            200,
+        ));
         c.on_finish(1_000);
         let rep = c.report();
         assert!(rep.rf_avf > 0.0);

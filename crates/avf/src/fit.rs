@@ -63,7 +63,11 @@ pub struct FitBreakdown {
 
 impl FitBreakdown {
     /// Derive the breakdown from an AVF report and the machine geometry.
-    pub fn from_report(report: &AvfReport, machine: &MachineConfig, model: FitModel) -> FitBreakdown {
+    pub fn from_report(
+        report: &AvfReport,
+        machine: &MachineConfig,
+        model: FitModel,
+    ) -> FitBreakdown {
         let nt = machine.num_threads as f64;
         let iq_bits = machine.iq_size as f64 * smt_sim::layout::IQ_ENTRY_BITS as f64;
         let rob_bits = nt * machine.rob_size as f64 * layout::ROB_ENTRY_BITS as f64;
@@ -151,8 +155,16 @@ mod tests {
     #[test]
     fn halving_iq_avf_halves_iq_fit() {
         let machine = MachineConfig::table2();
-        let hi = FitBreakdown::from_report(&report(0.4, 0.1, 0.1, 0.05, 0.2), &machine, FitModel::nominal());
-        let lo = FitBreakdown::from_report(&report(0.2, 0.1, 0.1, 0.05, 0.2), &machine, FitModel::nominal());
+        let hi = FitBreakdown::from_report(
+            &report(0.4, 0.1, 0.1, 0.05, 0.2),
+            &machine,
+            FitModel::nominal(),
+        );
+        let lo = FitBreakdown::from_report(
+            &report(0.2, 0.1, 0.1, 0.05, 0.2),
+            &machine,
+            FitModel::nominal(),
+        );
         assert!((hi.iq_fit / lo.iq_fit - 2.0).abs() < 1e-9);
         assert!((hi.rob_fit - lo.rob_fit).abs() < 1e-12);
     }

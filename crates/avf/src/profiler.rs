@@ -124,7 +124,11 @@ pub fn profile_program(program: &Arc<Program>, instructions: u64, window: usize)
 
 /// Profile and install the hints into a program copy — the full
 /// "profile → extend ISA → redecode" loop as one call.
-pub fn profile_and_tag(program: &Arc<Program>, instructions: u64, window: usize) -> (Arc<Program>, ProfileResult) {
+pub fn profile_and_tag(
+    program: &Arc<Program>,
+    instructions: u64,
+    window: usize,
+) -> (Arc<Program>, ProfileResult) {
     let result = profile_program(program, instructions, window);
     let mut tagged = (**program).clone();
     tagged.apply_ace_hints(&result.ace_pcs);
@@ -213,8 +217,7 @@ mod tests {
         }
         // Weaker, robust check: a healthy majority of static PCs are
         // tagged after a long profile.
-        let frac = tagged.insts.iter().filter(|i| i.ace_hint).count() as f64
-            / tagged.len() as f64;
+        let frac = tagged.insts.iter().filter(|i| i.ace_hint).count() as f64 / tagged.len() as f64;
         assert!(frac > 0.3, "static ACE fraction {frac}");
     }
 

@@ -35,7 +35,11 @@ fn arb_inst() -> impl Strategy<Value = MiniInst> {
                 OpClass::Store | OpClass::Output | OpClass::CondBranch | OpClass::Nop => None,
                 _ => dest,
             };
-            let (s0, s1) = if op == OpClass::Nop { (None, None) } else { (s0, s1) };
+            let (s0, s1) = if op == OpClass::Nop {
+                (None, None)
+            } else {
+                (s0, s1)
+            };
             MiniInst {
                 op,
                 dest,

@@ -16,7 +16,9 @@
 use bench::tagged_mix;
 use criterion::{criterion_group, criterion_main, Criterion};
 use iq_reliability::opt1::IplRegionTable;
-use iq_reliability::{DvmController, DvmMode, DynamicIqAllocator, L2MissSensitiveAllocator, VisaIssue};
+use iq_reliability::{
+    DvmController, DvmMode, DynamicIqAllocator, L2MissSensitiveAllocator, VisaIssue,
+};
 use smt_sim::pipeline::PipelinePolicies;
 use smt_sim::{FetchPolicyKind, MachineConfig, Pipeline, SimLimits};
 use std::hint::black_box;
@@ -120,14 +122,8 @@ fn ablate_dvm_trigger(c: &mut Criterion) {
     for frac in [0.8f64, 0.9, 0.95] {
         g.bench_function(format!("trigger_{frac}"), |b| {
             b.iter(|| {
-                let dvm = DvmController::with_params(
-                    0.15,
-                    DvmMode::DynamicRatio,
-                    frac,
-                    5,
-                    10_000,
-                    50,
-                );
+                let dvm =
+                    DvmController::with_params(0.15, DvmMode::DynamicRatio, frac, 5, 10_000, 50);
                 let policies = PipelinePolicies {
                     fetch: FetchPolicyKind::Icount.build(),
                     issue: Box::new(smt_sim::OldestFirst),

@@ -61,7 +61,13 @@ fn bench_figures(c: &mut Criterion) {
     });
     g.bench_function("fig6_fetch_policies_one", |b| {
         // One advanced policy (STALL); the full figure is 4x this.
-        b.iter(|| black_box(fig5::run_with_fetch(&ctx, FetchPolicyKind::Stall).rows.len()))
+        b.iter(|| {
+            black_box(
+                fig5::run_with_fetch(&ctx, FetchPolicyKind::Stall)
+                    .rows
+                    .len(),
+            )
+        })
     });
     g.finish();
 }
@@ -82,7 +88,11 @@ fn bench_dvm_figures(c: &mut Criterion) {
     });
     g.bench_function("fig9_dvm_flush", |b| {
         b.iter(|| {
-            black_box(fig8::run_with_fetch(&ctx, FetchPolicyKind::Flush).cells.len())
+            black_box(
+                fig8::run_with_fetch(&ctx, FetchPolicyKind::Flush)
+                    .cells
+                    .len(),
+            )
         })
     });
     g.bench_function("fig10_scheme_compare", |b| {

@@ -29,7 +29,11 @@ pub fn tagged_mix(name: &str) -> Vec<Arc<Program>> {
 }
 
 /// Build a warmed pipeline for a mix under a scheme.
-pub fn warmed_pipeline(programs: &[Arc<Program>], scheme: Scheme, fetch: FetchPolicyKind) -> Pipeline {
+pub fn warmed_pipeline(
+    programs: &[Arc<Program>],
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+) -> Pipeline {
     let machine = MachineConfig::table2();
     let (policies, _) = scheme.policies(fetch, machine.iq_size);
     let mut p = Pipeline::new(machine, programs.to_vec(), policies);
@@ -38,7 +42,12 @@ pub fn warmed_pipeline(programs: &[Arc<Program>], scheme: Scheme, fetch: FetchPo
 }
 
 /// Run a scheme for a micro cycle budget; returns (iq_avf, ipc).
-pub fn micro_run(programs: &[Arc<Program>], scheme: Scheme, fetch: FetchPolicyKind, cycles: u64) -> (f64, f64) {
+pub fn micro_run(
+    programs: &[Arc<Program>],
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+    cycles: u64,
+) -> (f64, f64) {
     let machine = MachineConfig::table2();
     let (policies, _) = scheme.policies(fetch, machine.iq_size);
     let mut p = Pipeline::new(machine.clone(), programs.to_vec(), policies);

@@ -23,7 +23,7 @@ impl Btb {
     /// `entries` total entries, `assoc`-way set associative. `entries`
     /// must be a multiple of `assoc` with a power-of-two set count.
     pub fn new(entries: usize, assoc: usize) -> Btb {
-        assert!(assoc >= 1 && entries >= assoc && entries % assoc == 0);
+        assert!(assoc >= 1 && entries >= assoc && entries.is_multiple_of(assoc));
         let sets = entries / assoc;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Btb {

@@ -5,7 +5,9 @@
 
 use micro_isa::Pc;
 
-/// Two-bit saturating counter states.
+/// Two-bit saturating counter states. Strong-not-taken is 0, which is
+/// why the decrement below can rely on `saturating_sub` alone.
+#[allow(dead_code)]
 const STRONG_NT: u8 = 0;
 #[allow(dead_code)]
 const WEAK_NT: u8 = 1;
@@ -73,7 +75,7 @@ impl Gshare {
         *c = if taken {
             (*c + 1).min(STRONG_T)
         } else {
-            c.saturating_sub(1).max(STRONG_NT)
+            c.saturating_sub(1)
         };
     }
 

@@ -63,7 +63,13 @@ impl BranchPredictor {
     ///
     /// Speculative state (history, RAS) is updated immediately, as a real
     /// front end must; recovery APIs restore it on squash.
-    pub fn predict(&mut self, tid: ThreadId, pc: Pc, kind: BranchKind, fallthrough: Pc) -> Prediction {
+    pub fn predict(
+        &mut self,
+        tid: ThreadId,
+        pc: Pc,
+        kind: BranchKind,
+        fallthrough: Pc,
+    ) -> Prediction {
         let t = tid as usize;
         match kind {
             BranchKind::Cond => {
@@ -132,7 +138,13 @@ impl BranchPredictor {
     /// caused it (its speculative effect was rolled back with the
     /// checkpoint): shift the actual direction into the history and redo
     /// the RAS push/pop.
-    pub fn apply_resolved(&mut self, tid: ThreadId, kind: BranchKind, taken: bool, fallthrough: Pc) {
+    pub fn apply_resolved(
+        &mut self,
+        tid: ThreadId,
+        kind: BranchKind,
+        taken: bool,
+        fallthrough: Pc,
+    ) {
         let t = tid as usize;
         match kind {
             BranchKind::Cond => self.gshare[t].push_speculative(taken),

@@ -1,9 +1,12 @@
 //! Shared experiment state: profiled programs and measurement budgets.
 
+use crate::manifest::RunManifest;
 use avf::profiler::{profile_and_tag, ProfileResult};
 use parking_lot::Mutex;
 use smt_sim::MachineConfig;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use workload_gen::{Program, WorkloadMix};
 
@@ -55,6 +58,13 @@ pub struct ExperimentContext {
     pub params: ExperimentParams,
     pub machine: MachineConfig,
     tagged: Mutex<HashMap<&'static str, (Arc<Program>, ProfileResult)>>,
+    /// When set, each run exports a Chrome trace-event file here.
+    trace_dir: Option<PathBuf>,
+    /// Monotonic run ids tying manifests to trace file names.
+    run_counter: AtomicU64,
+    /// Manifests of completed runs; the CLI drains this after each
+    /// exhibit (and discards if `--manifest` was not given).
+    manifests: Mutex<Vec<RunManifest>>,
 }
 
 impl ExperimentContext {
@@ -63,7 +73,35 @@ impl ExperimentContext {
             params,
             machine: MachineConfig::table2(),
             tagged: Mutex::new(HashMap::new()),
+            trace_dir: None,
+            run_counter: AtomicU64::new(0),
+            manifests: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Enable per-run Chrome trace export into `dir`.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> ExperimentContext {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    pub fn trace_dir(&self) -> Option<&Path> {
+        self.trace_dir.as_deref()
+    }
+
+    /// Next campaign-unique run id.
+    pub fn next_run_id(&self) -> u64 {
+        self.run_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Log a completed run's manifest.
+    pub fn record_manifest(&self, manifest: RunManifest) {
+        self.manifests.lock().push(manifest);
+    }
+
+    /// Take every manifest logged since the last drain.
+    pub fn drain_manifests(&self) -> Vec<RunManifest> {
+        std::mem::take(&mut *self.manifests.lock())
     }
 
     /// The profiled, hint-tagged program for one benchmark (cached).
@@ -73,8 +111,8 @@ impl ExperimentContext {
         }
         // Profile outside the lock: profiling is the expensive part and
         // distinct benchmarks may be profiled concurrently.
-        let model = workload_gen::model_by_name(name)
-            .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+        let model =
+            workload_gen::model_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
         let raw = Arc::new(workload_gen::generate_program(&model));
         let entry = profile_and_tag(&raw, self.params.profile_insts, self.params.ace_window);
         let mut cache = self.tagged.lock();

@@ -50,9 +50,7 @@ pub fn run(ctx: &ExperimentContext) -> Fig1Result {
 }
 
 pub fn render(result: &Fig1Result) -> Rendered {
-    let mut t = Table::new(vec![
-        "workload", "IQ", "ROB", "RegFile", "FU", "LSQ*",
-    ]);
+    let mut t = Table::new(vec!["workload", "IQ", "ROB", "RegFile", "FU", "LSQ*"]);
     for (group, avfs) in &result.rows {
         t.row(vec![
             group.label().to_string(),

@@ -41,13 +41,14 @@ pub fn run(ctx: &ExperimentContext) -> Fig10Result {
     let baselines = parallel_map(mixes.clone(), |mix| {
         run_scheme(ctx, mix, Scheme::Baseline, fetch)
     });
-    let open_loop: Vec<(Scheme, Vec<RunOutcome>)> = [Scheme::Visa, Scheme::VisaOpt1, Scheme::VisaOpt2]
-        .into_iter()
-        .map(|s| {
-            let runs = parallel_map(mixes.clone(), |mix| run_scheme(ctx, mix, s, fetch));
-            (s, runs)
-        })
-        .collect();
+    let open_loop: Vec<(Scheme, Vec<RunOutcome>)> =
+        [Scheme::Visa, Scheme::VisaOpt1, Scheme::VisaOpt2]
+            .into_iter()
+            .map(|s| {
+                let runs = parallel_map(mixes.clone(), |mix| run_scheme(ctx, mix, s, fetch));
+                (s, runs)
+            })
+            .collect();
 
     // DVM dynamic per (mix, threshold); static re-runs with the dynamic
     // run's average ratio.
@@ -144,7 +145,12 @@ mod tests {
                 dynamic,
                 visa
             );
-            assert!(dynamic < 0.35, "{}: dynamic PVE {:.2}", group.label(), dynamic);
+            assert!(
+                dynamic < 0.35,
+                "{}: dynamic PVE {:.2}",
+                group.label(),
+                dynamic
+            );
         }
     }
 }

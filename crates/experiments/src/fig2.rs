@@ -10,9 +10,10 @@
 
 use crate::context::ExperimentContext;
 use crate::report::Rendered;
+use crate::runner::run_stats_only;
 use iq_reliability::Scheme;
 use sim_stats::Table;
-use smt_sim::{FetchPolicyKind, Pipeline, SimLimits, SimStats};
+use smt_sim::{FetchPolicyKind, SimStats};
 
 pub struct Fig2Result {
     pub stats: SimStats,
@@ -20,12 +21,7 @@ pub struct Fig2Result {
 
 pub fn run(ctx: &ExperimentContext) -> Fig2Result {
     let mix = workload_gen::mix_by_name("CPU-A").expect("CPU-A mix");
-    let programs = ctx.mix_programs(&mix);
-    let (policies, _) = Scheme::Baseline.policies(FetchPolicyKind::Icount, ctx.machine.iq_size);
-    let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
-    pipeline.warm_up(ctx.params.warmup_insts);
-    let mut sink = smt_sim::NullObserver;
-    let result = pipeline.run(SimLimits::cycles(ctx.params.run_cycles), &mut sink);
+    let result = run_stats_only(ctx, &mix, Scheme::Baseline, FetchPolicyKind::Icount);
     Fig2Result {
         stats: result.stats,
     }
@@ -33,7 +29,11 @@ pub fn run(ctx: &ExperimentContext) -> Fig2Result {
 
 pub fn render(result: &Fig2Result) -> Rendered {
     let hist = &result.stats.ready_queue_hist;
-    let mut t = Table::new(vec!["ready-queue length", "% of cycles", "ACE share of ready insts"]);
+    let mut t = Table::new(vec![
+        "ready-queue length",
+        "% of cycles",
+        "ACE share of ready insts",
+    ]);
     let max = hist.histogram().max_value().unwrap_or(0);
     // The paper plots every length; bucket in fours to keep the text
     // table readable without losing the hill shape.

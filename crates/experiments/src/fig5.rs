@@ -44,10 +44,7 @@ pub fn run_with_fetch(ctx: &ExperimentContext, fetch: FetchPolicyKind) -> Fig5Re
         for scheme in SCHEMES.iter().skip(1) {
             let mut avf_norms = Vec::new();
             let mut ipc_norms = Vec::new();
-            for mix in standard_mixes()
-                .iter()
-                .filter(|m| m.group == group)
-            {
+            for mix in standard_mixes().iter().filter(|m| m.group == group) {
                 let base = runs
                     .iter()
                     .find(|r| r.mix == mix.name && r.scheme == Scheme::Baseline.label())
@@ -74,7 +71,10 @@ pub fn run(ctx: &ExperimentContext) -> Fig5Result {
 }
 
 pub fn render(result: &Fig5Result) -> Rendered {
-    render_titled(result, "Figure 5: normalized IQ AVF and throughput IPC (fetch policy: ICOUNT)")
+    render_titled(
+        result,
+        "Figure 5: normalized IQ AVF and throughput IPC (fetch policy: ICOUNT)",
+    )
 }
 
 pub fn render_titled(result: &Fig5Result, title: &str) -> Rendered {
@@ -151,7 +151,10 @@ mod tests {
             .find(|(g, s, _, _)| *g == MixGroup::Mem && *s == Scheme::VisaOpt2.label())
             .unwrap()
             .3;
-        assert!(mem_opt1_ipc < 0.8, "opt1 should hurt MEM: {mem_opt1_ipc:.2}");
+        assert!(
+            mem_opt1_ipc < 0.8,
+            "opt1 should hurt MEM: {mem_opt1_ipc:.2}"
+        );
         assert!(
             mem_opt2_ipc > mem_opt1_ipc,
             "opt2 must recover IPC over opt1 on MEM"

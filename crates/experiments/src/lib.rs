@@ -27,6 +27,7 @@ pub mod fig2;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
+pub mod manifest;
 pub mod parallel;
 pub mod quick;
 pub mod report;
@@ -36,5 +37,6 @@ pub mod table2;
 pub mod table3;
 
 pub use context::{ExperimentContext, ExperimentParams};
+pub use manifest::RunManifest;
 pub use report::Rendered;
-pub use runner::{run_scheme, RunOutcome};
+pub use runner::{run_scheme, run_stats_only, RunOutcome};

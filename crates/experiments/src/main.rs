@@ -1,37 +1,57 @@
 //! CLI: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--fast] [EXHIBIT...]
+//! experiments [--fast] [--csv DIR] [--manifest DIR] [--trace DIR] [EXHIBIT...]
 //!   EXHIBIT: table1 table2 table3 fig1 fig2 fig5 fig6 fig8 fig9 fig10 all
 //! ```
 //!
 //! With no exhibit arguments, everything runs (`all`). `--fast` uses the
 //! reduced measurement budget (quick sanity pass); the default is the
 //! full budget recorded in EXPERIMENTS.md. `--csv DIR` additionally
-//! writes each exhibit's table as `DIR/<exhibit>.csv`.
+//! writes each exhibit's table as `DIR/<exhibit>.csv`. `--manifest DIR`
+//! writes one JSON run manifest per simulation (machine config, seeds,
+//! scheme, budget, phase timings, final metrics). `--trace DIR` exports
+//! a Chrome trace-event file per simulation (open in Perfetto or
+//! `chrome://tracing`).
+//!
+//! Unknown exhibit names are rejected up front (exit code 2) before any
+//! simulation starts; repeated exhibit names run once.
 
 use experiments::context::{ExperimentContext, ExperimentParams};
 use experiments::{fig1, fig10, fig2, fig5, fig6, fig8, table1, table2, table3};
 use smt_sim::FetchPolicyKind;
+use std::path::PathBuf;
 use std::time::Instant;
+
+const KNOWN_EXHIBITS: [&str; 10] = [
+    "table1", "table2", "table3", "fig1", "fig2", "fig5", "fig6", "fig8", "fig9", "fig10",
+];
+
+/// Flags that consume the following argument.
+const VALUE_FLAGS: [&str; 3] = ["--csv", "--manifest", "--trace"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let csv_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    let dir_flag = |flag: &str| -> Option<PathBuf> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from)
+    };
+    let csv_dir = dir_flag("--csv");
+    let manifest_dir = dir_flag("--manifest");
+    let trace_dir = dir_flag("--trace");
+
     let mut skip_next = false;
-    let mut wanted: Vec<&str> = args
+    let requested: Vec<&str> = args
         .iter()
         .filter(|a| {
             if skip_next {
                 skip_next = false;
                 return false;
             }
-            if *a == "--csv" {
+            if VALUE_FLAGS.contains(&a.as_str()) {
                 skip_next = true;
                 return false;
             }
@@ -39,19 +59,48 @@ fn main() {
         })
         .map(|s| s.as_str())
         .collect();
-    if wanted.is_empty() || wanted.contains(&"all") {
-        wanted = vec![
-            "table2", "table3", "table1", "fig1", "fig2", "fig5", "fig6", "fig8", "fig9",
-            "fig10",
-        ];
+
+    // Validate every exhibit name before any simulation starts, so a
+    // typo at the end of a long campaign list fails in milliseconds,
+    // not hours.
+    let unknown: Vec<&str> = requested
+        .iter()
+        .copied()
+        .filter(|e| *e != "all" && !KNOWN_EXHIBITS.contains(e))
+        .collect();
+    if !unknown.is_empty() {
+        for e in &unknown {
+            eprintln!("unknown exhibit: {e}");
+        }
+        eprintln!("known exhibits: {} all", KNOWN_EXHIBITS.join(" "));
+        std::process::exit(2);
     }
+
+    let wanted: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        vec![
+            "table2", "table3", "table1", "fig1", "fig2", "fig5", "fig6", "fig8", "fig9", "fig10",
+        ]
+    } else {
+        // Dedupe repeated names, preserving first-occurrence order.
+        let mut seen = Vec::new();
+        for e in requested {
+            if !seen.contains(&e) {
+                seen.push(e);
+            }
+        }
+        seen
+    };
 
     let params = if fast {
         ExperimentParams::fast()
     } else {
         ExperimentParams::full()
     };
-    let ctx = ExperimentContext::new(params);
+    let mut ctx = ExperimentContext::new(params);
+    if let Some(dir) = &trace_dir {
+        ctx = ctx.with_trace_dir(dir);
+    }
+    let ctx = ctx;
     println!(
         "# smtsim experiment campaign ({} budget: warmup {} insts, {} measured cycles/run)\n",
         if fast { "fast" } else { "full" },
@@ -89,13 +138,60 @@ fn main() {
             "fig8" => emit("fig8", vec![fig8::render(&fig8::run(&ctx))]),
             "fig9" => emit(
                 "fig9",
-                vec![fig8::render(&fig8::run_with_fetch(&ctx, FetchPolicyKind::Flush))],
+                vec![fig8::render(&fig8::run_with_fetch(
+                    &ctx,
+                    FetchPolicyKind::Flush,
+                ))],
             ),
             "fig10" => emit("fig10", vec![fig10::render(&fig10::run(&ctx))]),
-            other => {
-                eprintln!("unknown exhibit: {other}");
-                std::process::exit(2);
+            other => unreachable!("exhibit {other} validated above"),
+        }
+        // Drain per-run manifests accumulated by this exhibit; write
+        // them out if requested, otherwise discard to bound memory.
+        let manifests = ctx.drain_manifests();
+        let mut stages = sim_trace::timing::StageSeconds::default();
+        let mut profiled = 0usize;
+        for m in &manifests {
+            if let Some(s) = &m.stage_seconds {
+                stages.add(s);
+                profiled += 1;
             }
+        }
+        if let Some(dir) = &manifest_dir {
+            let mut phases = sim_trace::timing::PhaseTimings::default();
+            let mut written = 0usize;
+            for mut m in manifests {
+                m.exhibit = exhibit.to_string();
+                phases.generate_s += m.timings.generate_s;
+                phases.warmup_s += m.timings.warmup_s;
+                phases.measure_s += m.timings.measure_s;
+                phases.collect_s += m.timings.collect_s;
+                match m.write(dir) {
+                    Ok(_) => written += 1,
+                    Err(e) => eprintln!("  [manifest export failed: {e}]"),
+                }
+            }
+            if written > 0 {
+                println!(
+                    "  [{written} manifest(s) -> {}; phases: generate {:.2}s, warmup {:.2}s, measure {:.2}s, collect {:.2}s]",
+                    dir.display(),
+                    phases.generate_s,
+                    phases.warmup_s,
+                    phases.measure_s,
+                    phases.collect_s
+                );
+            }
+        }
+        if profiled > 0 {
+            println!(
+                "  [stage profile over {profiled} traced run(s): commit {:.2}s, writeback {:.2}s, issue {:.2}s, dispatch {:.2}s, fetch {:.2}s ({} cycles)]",
+                stages.commit_s,
+                stages.writeback_s,
+                stages.issue_s,
+                stages.dispatch_s,
+                stages.fetch_s,
+                stages.profiled_cycles
+            );
         }
         println!("  [{exhibit} took {:.1?}]\n", t0.elapsed());
     }

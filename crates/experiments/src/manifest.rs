@@ -1,0 +1,297 @@
+//! Run manifests: one self-describing JSON document per simulation.
+//!
+//! A manifest pins down everything needed to reproduce (and audit) one
+//! `run_scheme` invocation — machine configuration, per-benchmark
+//! workload seeds, scheme and fetch policy, measurement budget — plus
+//! what it cost (wall-clock phase timings) and what it produced (final
+//! metrics). The experiments CLI writes one file per run under
+//! `--manifest DIR`; the round-trip through `serde` is part of the test
+//! surface, so downstream tooling can rely on the schema.
+
+use crate::context::ExperimentContext;
+use crate::runner::RunOutcome;
+use iq_reliability::Scheme;
+use serde::{Deserialize, Serialize};
+use sim_trace::timing::{PhaseTimings, StageSeconds};
+use smt_sim::{FetchPolicyKind, MachineConfig};
+use std::io;
+use std::path::{Path, PathBuf};
+use workload_gen::WorkloadMix;
+
+/// The machine-configuration fields a manifest records (the stable,
+/// scalar subset of [`MachineConfig`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSummary {
+    pub width: usize,
+    pub fetch_threads_per_cycle: usize,
+    pub fetch_queue_size: usize,
+    pub iq_size: usize,
+    pub rob_size: usize,
+    pub lsq_size: usize,
+    pub num_threads: usize,
+    pub mshr_per_thread: u32,
+    pub lsq_disambiguation: bool,
+}
+
+impl MachineSummary {
+    pub fn from_config(c: &MachineConfig) -> MachineSummary {
+        MachineSummary {
+            width: c.width,
+            fetch_threads_per_cycle: c.fetch_threads_per_cycle,
+            fetch_queue_size: c.fetch_queue_size,
+            iq_size: c.iq_size,
+            rob_size: c.rob_size,
+            lsq_size: c.lsq_size,
+            num_threads: c.num_threads,
+            mshr_per_thread: c.mshr_per_thread,
+            lsq_disambiguation: c.lsq_disambiguation,
+        }
+    }
+}
+
+/// Measurement budget the run was performed under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetSummary {
+    pub profile_insts: u64,
+    pub warmup_insts: u64,
+    pub run_cycles: u64,
+    pub ace_window: u64,
+}
+
+/// Final metrics of one run (mirrors the interesting parts of
+/// [`RunOutcome`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FinalMetrics {
+    pub iq_avf: f64,
+    pub throughput_ipc: f64,
+    pub harmonic_ipc: f64,
+    pub l2_misses: u64,
+    pub flushes: u64,
+    pub mispredict_rate: f64,
+    pub governor_stall_cycles: u64,
+    pub dvm_avg_ratio: Option<f64>,
+    pub deadlocked: bool,
+}
+
+/// One run, fully described.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Monotonic run id within one campaign (ties manifests to trace
+    /// file names).
+    pub run_id: u64,
+    /// Exhibit that requested the run (filled in by the CLI when it
+    /// drains the per-exhibit manifest log).
+    pub exhibit: String,
+    pub mix: String,
+    /// Benchmarks of the mix, context order.
+    pub benchmarks: Vec<String>,
+    /// Per-benchmark workload-generation seeds (FNV-1a of the name),
+    /// context order.
+    pub seeds: Vec<u64>,
+    pub scheme: String,
+    pub fetch_policy: String,
+    pub machine: MachineSummary,
+    pub budget: BudgetSummary,
+    /// Host wall-clock cost of each phase of the run.
+    pub timings: PhaseTimings,
+    /// Per-pipeline-stage wall-clock breakdown (traced runs only —
+    /// stage profiling is opt-in because of its timer cost).
+    pub stage_seconds: Option<StageSeconds>,
+    pub metrics: FinalMetrics,
+}
+
+impl RunManifest {
+    /// Assemble a manifest from a finished run.
+    pub fn new(
+        run_id: u64,
+        ctx: &ExperimentContext,
+        mix: &WorkloadMix,
+        scheme: Scheme,
+        fetch: FetchPolicyKind,
+        outcome: &RunOutcome,
+    ) -> RunManifest {
+        let seeds = mix
+            .benchmarks
+            .iter()
+            .map(|&name| {
+                workload_gen::model_by_name(name)
+                    .map(|m| m.seed())
+                    .unwrap_or(0)
+            })
+            .collect();
+        RunManifest {
+            run_id,
+            exhibit: String::new(),
+            mix: mix.name.clone(),
+            benchmarks: mix.benchmarks.iter().map(|&b| b.to_string()).collect(),
+            seeds,
+            scheme: scheme.label().to_string(),
+            fetch_policy: format!("{fetch:?}"),
+            machine: MachineSummary::from_config(&ctx.machine),
+            budget: BudgetSummary {
+                profile_insts: ctx.params.profile_insts,
+                warmup_insts: ctx.params.warmup_insts,
+                run_cycles: ctx.params.run_cycles,
+                ace_window: ctx.params.ace_window as u64,
+            },
+            timings: outcome.timings.clone(),
+            stage_seconds: outcome.stage_seconds.clone(),
+            metrics: FinalMetrics {
+                iq_avf: outcome.avf.iq_avf,
+                throughput_ipc: outcome.throughput_ipc,
+                harmonic_ipc: outcome.harmonic_ipc,
+                l2_misses: outcome.l2_misses,
+                flushes: outcome.flushes,
+                mispredict_rate: outcome.mispredict_rate,
+                governor_stall_cycles: outcome.governor_stall_cycles,
+                dvm_avg_ratio: outcome.dvm_avg_ratio,
+                deadlocked: outcome.deadlocked,
+            },
+        }
+    }
+
+    /// File name this manifest is written under:
+    /// `run<id>_<exhibit>_<mix>_<scheme>.json` (slugged).
+    pub fn file_name(&self) -> String {
+        format!(
+            "run{:04}_{}_{}_{}.json",
+            self.run_id,
+            slug(&self.exhibit),
+            slug(&self.mix),
+            slug(&self.scheme),
+        )
+    }
+
+    /// Write pretty-printed JSON into `dir` (created if missing).
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, serde::json::to_string_pretty(self))?;
+        Ok(path)
+    }
+}
+
+/// Lowercase, filesystem-safe slug (non-alphanumerics collapse to `-`).
+pub fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut dash = false;
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            dash = false;
+        } else if !dash && !out.is_empty() {
+            out.push('-');
+            dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    if out.is_empty() {
+        out.push('x');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        RunManifest {
+            run_id: 7,
+            exhibit: "fig2".to_string(),
+            mix: "CPU-A".to_string(),
+            benchmarks: vec!["gcc".to_string(), "gzip".to_string()],
+            seeds: vec![123, 456],
+            scheme: "VISA+opt1".to_string(),
+            fetch_policy: "Icount".to_string(),
+            machine: MachineSummary {
+                width: 8,
+                fetch_threads_per_cycle: 2,
+                fetch_queue_size: 32,
+                iq_size: 96,
+                rob_size: 96,
+                lsq_size: 48,
+                num_threads: 4,
+                mshr_per_thread: 8,
+                lsq_disambiguation: false,
+            },
+            budget: BudgetSummary {
+                profile_insts: 60_000,
+                warmup_insts: 250_000,
+                run_cycles: 250_000,
+                ace_window: 40_000,
+            },
+            timings: PhaseTimings {
+                generate_s: 0.5,
+                warmup_s: 1.0,
+                measure_s: 2.0,
+                collect_s: 0.25,
+            },
+            stage_seconds: Some(StageSeconds {
+                commit_s: 0.2,
+                writeback_s: 0.3,
+                issue_s: 0.9,
+                dispatch_s: 0.4,
+                fetch_s: 0.2,
+                profiled_cycles: 250_000,
+            }),
+            metrics: FinalMetrics {
+                iq_avf: 0.31,
+                throughput_ipc: 3.4,
+                harmonic_ipc: 0.8,
+                l2_misses: 1234,
+                flushes: 5,
+                mispredict_rate: 0.04,
+                governor_stall_cycles: 99,
+                dvm_avg_ratio: Some(1.5),
+                deadlocked: false,
+            },
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = sample();
+        let text = serde::json::to_string_pretty(&m);
+        let back: RunManifest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn file_names_are_slugged_and_unique_per_run() {
+        let m = sample();
+        assert_eq!(m.file_name(), "run0007_fig2_cpu-a_visa-opt1.json");
+        let mut n = sample();
+        n.run_id = 8;
+        // A manifest without DVM telemetry or stage profiling must
+        // still roundtrip.
+        n.metrics.dvm_avg_ratio = None;
+        n.stage_seconds = None;
+        let text = serde::json::to_string(&n);
+        let back: RunManifest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, n);
+        assert_ne!(m.file_name(), n.file_name());
+    }
+
+    #[test]
+    fn slug_normalizes() {
+        assert_eq!(slug("DVM (dynamic ratio)"), "dvm-dynamic-ratio");
+        assert_eq!(slug("CPU-A"), "cpu-a");
+        assert_eq!(slug(""), "x");
+        assert_eq!(slug("***"), "x");
+    }
+
+    #[test]
+    fn write_creates_parseable_file() {
+        let dir = std::env::temp_dir().join("smtsim_manifest_test");
+        let m = sample();
+        let path = m.write(&dir).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: RunManifest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        assert!(back.timings.total_s() > 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -28,7 +28,7 @@ where
         .unwrap_or(1)
         .min(n);
     if threads <= 1 {
-        return items.iter().map(|t| f(t)).collect();
+        return items.iter().map(&f).collect();
     }
 
     let next = AtomicUsize::new(0);

@@ -37,7 +37,11 @@ impl Rendered {
 
 impl Rendered {
     /// Write the table as CSV to `dir/slug.csv` (creating `dir`).
-    pub fn write_csv(&self, dir: &std::path::Path, slug: &str) -> std::io::Result<std::path::PathBuf> {
+    pub fn write_csv(
+        &self,
+        dir: &std::path::Path,
+        slug: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(format!("{slug}.csv"));
         std::fs::write(&path, self.table.to_csv())?;
@@ -63,8 +67,10 @@ mod tests {
         let dir = std::env::temp_dir().join("smtsim-csv-test");
         let path = r.write_csv(&dir, "t").unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
-        assert!(content.starts_with("x,y
-"));
+        assert!(content.starts_with(
+            "x,y
+"
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,8 +1,12 @@
 //! Low-level simulation driver shared by every experiment.
 
 use crate::context::ExperimentContext;
+use crate::manifest::{slug, RunManifest};
 use avf::{AvfCollector, AvfReport};
 use iq_reliability::Scheme;
+use sim_trace::chrome::ChromeTraceSink;
+use sim_trace::timing::{PhaseTimings, StageSeconds};
+use sim_trace::Tracer;
 use smt_sim::{FetchPolicyKind, Pipeline, SimLimits};
 use workload_gen::WorkloadMix;
 
@@ -22,29 +26,48 @@ pub struct RunOutcome {
     /// Average adaptive wq_ratio (DVM runs only).
     pub dvm_avg_ratio: Option<f64>,
     pub deadlocked: bool,
+    /// Host wall-clock cost of the run, by phase.
+    pub timings: PhaseTimings,
+    /// Per-pipeline-stage wall-clock breakdown (traced runs only).
+    pub stage_seconds: Option<StageSeconds>,
 }
 
 /// Run one (mix, scheme, fetch policy) combination under the context's
 /// budget: profile-tagged programs, warmup, then a fixed measured cycle
-/// window with ground-truth AVF collection.
+/// window with ground-truth AVF collection. Each run self-times its
+/// phases, logs a [`RunManifest`] on the context, and — when the context
+/// has a trace directory — exports a Chrome trace-event file.
 pub fn run_scheme(
     ctx: &ExperimentContext,
     mix: &WorkloadMix,
     scheme: Scheme,
     fetch: FetchPolicyKind,
 ) -> RunOutcome {
-    let programs = ctx.mix_programs(mix);
+    let mut timings = PhaseTimings::default();
+    let run_id = ctx.next_run_id();
+
+    let programs = PhaseTimings::time(&mut timings.generate_s, || ctx.mix_programs(mix));
     let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
     let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
-    let start = pipeline.warm_up(ctx.params.warmup_insts);
-    let mut collector = AvfCollector::new(&ctx.machine, ctx.params.ace_window, 10_000)
-        .with_start_cycle(start);
-    let result = pipeline.run(SimLimits::cycles(ctx.params.run_cycles), &mut collector);
-    RunOutcome {
+    attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
+
+    let start = PhaseTimings::time(&mut timings.warmup_s, || {
+        pipeline.warm_up(ctx.params.warmup_insts)
+    });
+    let mut collector =
+        AvfCollector::new(&ctx.machine, ctx.params.ace_window, 10_000).with_start_cycle(start);
+    let result = PhaseTimings::time(&mut timings.measure_s, || {
+        pipeline.run(SimLimits::cycles(ctx.params.run_cycles), &mut collector)
+    });
+    let avf = PhaseTimings::time(&mut timings.collect_s, || collector.report());
+    pipeline.tracer().flush();
+    let stage_seconds = stage_snapshot(&pipeline);
+
+    let outcome = RunOutcome {
         mix: mix.name.clone(),
         scheme: scheme.label(),
         fetch,
-        avf: collector.report(),
+        avf,
         throughput_ipc: result.stats.throughput_ipc(),
         harmonic_ipc: result.stats.harmonic_ipc(),
         l2_misses: result.stats.l2_misses,
@@ -53,7 +76,98 @@ pub fn run_scheme(
         governor_stall_cycles: result.stats.governor_stall_cycles,
         dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
         deadlocked: result.deadlocked,
+        timings,
+        stage_seconds,
+    };
+    ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
+    outcome
+}
+
+/// Drive one combination for its raw pipeline statistics only, with no
+/// ground-truth AVF collection (e.g. Figure 2's ready-queue census).
+/// Phase timing, trace export, and manifest logging match
+/// [`run_scheme`]; the manifest's AVF metrics read as zero.
+pub fn run_stats_only(
+    ctx: &ExperimentContext,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+) -> smt_sim::SimResult {
+    let mut timings = PhaseTimings::default();
+    let run_id = ctx.next_run_id();
+
+    let programs = PhaseTimings::time(&mut timings.generate_s, || ctx.mix_programs(mix));
+    let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
+    let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
+    attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
+
+    PhaseTimings::time(&mut timings.warmup_s, || {
+        pipeline.warm_up(ctx.params.warmup_insts)
+    });
+    let result = PhaseTimings::time(&mut timings.measure_s, || {
+        pipeline.run(
+            SimLimits::cycles(ctx.params.run_cycles),
+            &mut smt_sim::NullObserver,
+        )
+    });
+    pipeline.tracer().flush();
+    let stage_seconds = stage_snapshot(&pipeline);
+
+    let outcome = RunOutcome {
+        mix: mix.name.clone(),
+        scheme: scheme.label(),
+        fetch,
+        avf: AvfReport::default(),
+        throughput_ipc: result.stats.throughput_ipc(),
+        harmonic_ipc: result.stats.harmonic_ipc(),
+        l2_misses: result.stats.l2_misses,
+        flushes: result.stats.flushes,
+        mispredict_rate: result.stats.mispredict_rate(),
+        governor_stall_cycles: result.stats.governor_stall_cycles,
+        dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
+        deadlocked: result.deadlocked,
+        timings,
+        stage_seconds,
+    };
+    ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
+    result
+}
+
+/// Stage-profile snapshot of a finished run, when profiling was on.
+fn stage_snapshot(pipeline: &Pipeline) -> Option<StageSeconds> {
+    pipeline
+        .stage_profile()
+        .is_enabled()
+        .then(|| pipeline.stage_profile().snapshot())
+}
+
+/// When the context carries a trace directory, attach a per-run Chrome
+/// trace exporter and coarse stage self-profiling to the pipeline.
+fn attach_tracing(
+    ctx: &ExperimentContext,
+    pipeline: &mut Pipeline,
+    run_id: u64,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+) {
+    let Some(dir) = ctx.trace_dir() else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!(
+            "experiments: cannot create trace dir {}: {e}",
+            dir.display()
+        );
+        return;
     }
+    let path = dir.join(format!(
+        "run{:04}_{}_{}.trace.json",
+        run_id,
+        slug(&mix.name),
+        slug(scheme.label()),
+    ));
+    pipeline.set_tracer(Tracer::new(ChromeTraceSink::new(path)));
+    pipeline.set_stage_profiling(true);
 }
 
 #[cfg(test)]
@@ -70,7 +184,19 @@ mod tests {
         assert!(out.throughput_ipc > 0.5);
         assert!(out.avf.iq_avf > 0.0 && out.avf.iq_avf < 1.0);
         assert!(out.dvm_avg_ratio.is_none());
+        assert!(out.stage_seconds.is_none(), "profiling is opt-in");
         assert_eq!(out.mix, "CPU-A");
+        // Self-profiling: every phase saw wall-clock time.
+        assert!(out.timings.warmup_s > 0.0);
+        assert!(out.timings.measure_s > 0.0);
+        assert!(out.timings.total_s() > 0.0);
+        // The run logged a manifest mirroring the outcome.
+        let manifests = ctx.drain_manifests();
+        assert_eq!(manifests.len(), 1);
+        assert_eq!(manifests[0].mix, "CPU-A");
+        assert_eq!(manifests[0].metrics.l2_misses, out.l2_misses);
+        assert_eq!(manifests[0].seeds.len(), manifests[0].benchmarks.len());
+        assert!(ctx.drain_manifests().is_empty(), "drain empties the log");
     }
 
     #[test]
@@ -85,5 +211,27 @@ mod tests {
         );
         assert!(!out.deadlocked);
         assert!(out.dvm_avg_ratio.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn traced_run_writes_chrome_export() {
+        let dir = std::env::temp_dir().join("smtsim_runner_trace_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = ExperimentContext::new(ExperimentParams::fast()).with_trace_dir(&dir);
+        let mix = workload_gen::mix_by_name("MIX-A").unwrap();
+        let out = run_scheme(&ctx, &mix, Scheme::VisaOpt2, FetchPolicyKind::Icount);
+        let stages = out.stage_seconds.expect("traced runs profile stages");
+        assert!(stages.total_s() > 0.0);
+        assert!(stages.profiled_cycles > 0);
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        assert_eq!(files.len(), 1, "one trace file per run: {files:?}");
+        let doc = serde::json::parse(&std::fs::read_to_string(&files[0]).unwrap()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -43,7 +43,13 @@ pub fn run(ctx: &ExperimentContext) -> Table1Result {
 }
 
 pub fn render(result: &Table1Result) -> Rendered {
-    let mut t = Table::new(vec!["benchmark", "paper", "measured", "|err|", "dyn ACE share"]);
+    let mut t = Table::new(vec![
+        "benchmark",
+        "paper",
+        "measured",
+        "|err|",
+        "dyn ACE share",
+    ]);
     for r in &result.rows {
         t.row(vec![
             r.name.to_string(),

@@ -48,7 +48,10 @@ pub fn render(machine: &MachineConfig) -> Rendered {
         "gshare, 10-bit global history per thread".to_string(),
     ]);
     t.row(vec!["BTB".to_string(), "2K entries, 4-way".to_string()]);
-    t.row(vec!["return address stack".to_string(), "32 entries per thread".to_string()]);
+    t.row(vec![
+        "return address stack".to_string(),
+        "32 entries per thread".to_string(),
+    ]);
     t.row(vec![
         "L1 I-cache".into(),
         format!(

@@ -23,6 +23,7 @@
 
 use micro_isa::ThreadId;
 use parking_lot::Mutex;
+use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 use std::sync::Arc;
 
@@ -87,6 +88,12 @@ pub struct DvmController {
     prev_bits: u64,
     prev_cycles: u64,
     telemetry: DvmHandle,
+    tracer: Tracer,
+    /// Most recent windowed AVF estimate (audit context for the
+    /// cycle-less `on_l2_miss` trigger path).
+    last_est: f64,
+    /// Cycle of the most recent `begin_cycle` (same purpose).
+    last_now: u64,
 }
 
 /// Adaptation bounds for the dynamic ratio.
@@ -131,6 +138,9 @@ impl DvmController {
             prev_bits: 0,
             prev_cycles: 0,
             telemetry: Arc::new(Mutex::new(DvmTelemetry::default())),
+            tracer: Tracer::off(),
+            last_est: 0.0,
+            last_now: 0,
         }
     }
 
@@ -171,18 +181,42 @@ impl DvmController {
         self.prev_cycles = cycles;
         let total_bits = view.iq_size as u64 * smt_sim::layout::IQ_ENTRY_BITS as u64;
         let est = db as f64 / (dc.max(1) * total_bits) as f64;
-        let mut t = self.telemetry.lock();
+        self.last_est = est;
+        let old_ratio = self.wq_ratio;
+        let was_active = self.response_active;
         if est >= self.trigger_level() {
-            if !self.response_active {
-                t.triggers += 1;
+            if !was_active {
+                self.telemetry.lock().triggers += 1;
             }
             self.response_active = true;
             self.restore_tid = None;
             if self.mode == DvmMode::DynamicRatio {
                 self.wq_ratio = (self.wq_ratio * RATIO_DECREASE).max(RATIO_MIN);
             }
+            if !was_active {
+                self.tracer.emit(|| {
+                    TraceEvent::Governor(GovernorEvent::DvmTrigger {
+                        cycle: view.now,
+                        hint_avf: est,
+                        target: self.target,
+                        // The offender, if one stands out, is the thread
+                        // with the deepest outstanding-L2-miss backlog.
+                        offender: view
+                            .threads
+                            .iter()
+                            .filter(|th| th.l2_pending > 0)
+                            .max_by_key(|th| (th.l2_pending, th.tid))
+                            .map(|th| th.tid as usize),
+                        thread_ace: view
+                            .threads
+                            .iter()
+                            .map(|th| th.fetch_queue_ace as u64)
+                            .collect(),
+                    })
+                });
+            }
         } else {
-            if self.response_active {
+            if was_active {
                 // Restore rule: release the thread with the fewest
                 // ACE-hinted instructions in its fetch queue first.
                 self.restore_tid = view
@@ -191,13 +225,35 @@ impl DvmController {
                     .filter(|th| !th.flush_blocked)
                     .min_by_key(|th| (th.fetch_queue_ace, th.tid))
                     .map(|th| th.tid);
-                t.restores += 1;
+                self.telemetry.lock().restores += 1;
+                let restored = self.restore_tid;
+                self.tracer.emit(|| {
+                    TraceEvent::Governor(GovernorEvent::DvmRestore {
+                        cycle: view.now,
+                        hint_avf: est,
+                        target: self.target,
+                        restored_tid: restored.map(|t| t as usize),
+                    })
+                });
             }
             self.response_active = false;
             if self.mode == DvmMode::DynamicRatio {
                 self.wq_ratio = (self.wq_ratio + RATIO_INCREASE).min(RATIO_MAX);
             }
         }
+        if self.wq_ratio != old_ratio {
+            let new_ratio = self.wq_ratio;
+            self.tracer.emit(|| {
+                TraceEvent::Governor(GovernorEvent::WqRatioAdjust {
+                    cycle: view.now,
+                    old_ratio,
+                    new_ratio,
+                    hint_avf: est,
+                    ready_len: view.ready_len,
+                })
+            });
+        }
+        let mut t = self.telemetry.lock();
         t.ratio_sum += self.wq_ratio;
         t.ratio_samples += 1;
     }
@@ -212,13 +268,14 @@ impl DispatchGovernor for DvmController {
     }
 
     fn begin_cycle(&mut self, view: &GovernorView) {
+        self.last_now = view.now;
         let sample_period = self.interval_cycles / self.samples_per_interval;
-        if view.now % sample_period == 0 && view.now > 0 {
+        if view.now.is_multiple_of(sample_period) && view.now > 0 {
             self.on_sample(view);
         }
         // The waiting/ready division runs once per ratio period; the
         // verdict is held between evaluations.
-        if view.now % self.ratio_period == 0 {
+        if view.now.is_multiple_of(self.ratio_period) {
             let ready = view.ready_len.max(1) as f64;
             self.ratio_ok = (view.waiting_len as f64 / ready) <= self.wq_ratio;
         }
@@ -279,17 +336,37 @@ impl DispatchGovernor for DvmController {
         }
     }
 
-    fn on_l2_miss(&mut self, _tid: ThreadId) {
+    fn on_l2_miss(&mut self, tid: ThreadId) {
         // "a L2 cache miss will immediately enable the response
         // mechanism": dependents of the miss would sit in the IQ for
         // hundreds of cycles.
-        let mut t = self.telemetry.lock();
-        if !self.response_active {
-            t.triggers += 1;
+        let was_active = self.response_active;
+        {
+            let mut t = self.telemetry.lock();
+            if !was_active {
+                t.triggers += 1;
+            }
+            t.l2_triggers += 1;
         }
-        t.l2_triggers += 1;
         self.response_active = true;
         self.restore_tid = None;
+        if !was_active {
+            self.tracer.emit(|| {
+                TraceEvent::Governor(GovernorEvent::DvmTrigger {
+                    cycle: self.last_now,
+                    hint_avf: self.last_est,
+                    target: self.target,
+                    offender: Some(tid as usize),
+                    // This path fires mid-issue without a governor view;
+                    // per-thread ACE context is unavailable.
+                    thread_ace: Vec::new(),
+                })
+            });
+        }
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

@@ -18,13 +18,17 @@
 //! reproduce that comparison.
 
 use micro_isa::ThreadId;
+use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 
-/// One row per IPC region: `(ipc_upper_bound, rql_margin_num/den, cap_num/den)`
-/// expressing `IQL = min(RQL + IQ*margin, IQ*cap)`.
+/// One IPC region row: `(ipc_upper_bound, (margin_num, margin_den),
+/// (cap_num, cap_den))` expressing `IQL = min(RQL + IQ*margin, IQ*cap)`.
+type Region = (f64, (u64, u64), (u64, u64));
+
+/// One row per IPC region (see [`Region`]).
 #[derive(Debug, Clone)]
 pub struct IplRegionTable {
-    rows: Vec<(f64, (u64, u64), (u64, u64))>,
+    rows: Vec<Region>,
 }
 
 impl IplRegionTable {
@@ -69,6 +73,14 @@ impl IplRegionTable {
         self.rows.len()
     }
 
+    /// Zero-based index of the IPC region `ipc` falls in.
+    pub fn region_index(&self, ipc: f64) -> usize {
+        self.rows
+            .iter()
+            .position(|(bound, _, _)| ipc <= *bound)
+            .unwrap_or(self.rows.len() - 1)
+    }
+
     /// The IQ-entry cap for an interval with the given IPC and mean RQL.
     pub fn iql(&self, ipc: f64, rql: f64, iq_size: usize) -> usize {
         let iq = iq_size as f64;
@@ -90,6 +102,7 @@ pub struct DynamicIqAllocator {
     table: IplRegionTable,
     /// Current interval's allocation cap.
     iql: usize,
+    tracer: Tracer,
 }
 
 impl DynamicIqAllocator {
@@ -97,6 +110,7 @@ impl DynamicIqAllocator {
         DynamicIqAllocator {
             table,
             iql: iq_size, // uncapped until the first interval closes
+            tracer: Tracer::off(),
         }
     }
 
@@ -111,7 +125,24 @@ impl DynamicIqAllocator {
 
     /// Recompute the cap from a closed interval (shared with opt2).
     pub(crate) fn update_from_interval(&mut self, snap: &IntervalSnapshot, iq_size: usize) {
+        let old_cap = self.iql;
         self.iql = self.table.iql(snap.ipc(), snap.avg_ready_len, iq_size);
+        if self.iql != old_cap {
+            let new_cap = self.iql;
+            self.tracer.emit(|| {
+                TraceEvent::Governor(GovernorEvent::Opt1CapChange {
+                    cycle: snap.start_cycle + snap.cycles,
+                    old_cap,
+                    new_cap,
+                    avg_ready_len: snap.avg_ready_len,
+                    region: self.table.region_index(snap.ipc()),
+                })
+            });
+        }
+    }
+
+    pub(crate) fn set_tracer_inner(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 
@@ -126,6 +157,10 @@ impl DispatchGovernor for DynamicIqAllocator {
 
     fn allow_dispatch(&mut self, view: &GovernorView, _tid: ThreadId) -> bool {
         view.iq_len < self.iql
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.set_tracer_inner(tracer);
     }
 }
 

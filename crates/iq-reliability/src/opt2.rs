@@ -17,6 +17,7 @@
 
 use crate::opt1::{DynamicIqAllocator, IplRegionTable};
 use micro_isa::ThreadId;
+use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 
 /// The paper's chosen L2-miss threshold (misses per 10 K-cycle interval).
@@ -31,6 +32,7 @@ pub struct L2MissSensitiveAllocator {
     /// IQ-entry budget for a thread with an outstanding L2 miss while in
     /// FLUSH mode.
     miss_budget: usize,
+    tracer: Tracer,
 }
 
 impl L2MissSensitiveAllocator {
@@ -40,6 +42,7 @@ impl L2MissSensitiveAllocator {
             tcache_miss,
             flush_mode: false,
             miss_budget: (iq_size / 12).max(1),
+            tracer: Tracer::off(),
         }
     }
 
@@ -69,7 +72,19 @@ impl DispatchGovernor for L2MissSensitiveAllocator {
     }
 
     fn on_interval(&mut self, snapshot: &IntervalSnapshot, view: &GovernorView) {
+        let was = self.flush_mode;
         self.flush_mode = snapshot.l2_misses > self.tcache_miss;
+        if self.flush_mode != was {
+            let enabled = self.flush_mode;
+            self.tracer.emit(|| {
+                TraceEvent::Governor(GovernorEvent::Opt2FlushMode {
+                    cycle: snapshot.start_cycle + snapshot.cycles,
+                    enabled,
+                    interval_l2_misses: snapshot.l2_misses,
+                    threshold: self.tcache_miss,
+                })
+            });
+        }
         self.opt1.update_from_interval(snapshot, view.iq_size);
     }
 
@@ -93,6 +108,11 @@ impl DispatchGovernor for L2MissSensitiveAllocator {
 
     fn flush_override(&self) -> bool {
         self.flush_mode
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.opt1.set_tracer_inner(tracer.clone());
+        self.tracer = tracer;
     }
 }
 

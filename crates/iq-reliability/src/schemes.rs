@@ -29,10 +29,15 @@ pub enum Scheme {
     VisaOpt2,
     /// DVM with the adaptive ratio; `target` is the absolute IQ AVF
     /// reliability threshold (e.g. `0.5 × MaxIQ_AVF`).
-    DvmDynamic { target: f64 },
+    DvmDynamic {
+        target: f64,
+    },
     /// DVM with a pinned ratio (the paper sets it to the dynamic run's
     /// average ratio).
-    DvmStatic { target: f64, ratio: f64 },
+    DvmStatic {
+        target: f64,
+        ratio: f64,
+    },
 }
 
 impl Scheme {
@@ -51,7 +56,11 @@ impl Scheme {
     /// Build the policy bundle for this scheme under `fetch`. For DVM
     /// schemes the returned handle exposes controller telemetry; it is
     /// `None` otherwise.
-    pub fn policies(&self, fetch: FetchPolicyKind, iq_size: usize) -> (PipelinePolicies, Option<DvmHandle>) {
+    pub fn policies(
+        &self,
+        fetch: FetchPolicyKind,
+        iq_size: usize,
+    ) -> (PipelinePolicies, Option<DvmHandle>) {
         let fetch_box = fetch.build();
         match *self {
             Scheme::Baseline => (

@@ -28,7 +28,7 @@ impl CacheConfig {
             return Err("zero size or associativity".into());
         }
         let lines = self.size_bytes / self.line_bytes;
-        if lines % self.assoc as u64 != 0 {
+        if !lines.is_multiple_of(self.assoc as u64) {
             return Err("lines not divisible by associativity".into());
         }
         let sets = lines / self.assoc as u64;
@@ -221,9 +221,9 @@ mod tests {
     #[test]
     fn table2_geometries_valid() {
         for (size, assoc, line) in [
-            (32 * 1024u64, 2usize, 32u64),  // L1I
-            (64 * 1024, 4, 64),             // L1D
-            (2 * 1024 * 1024, 4, 128),      // L2
+            (32 * 1024u64, 2usize, 32u64), // L1I
+            (64 * 1024, 4, 64),            // L1D
+            (2 * 1024 * 1024, 4, 128),     // L2
         ] {
             CacheConfig {
                 size_bytes: size,

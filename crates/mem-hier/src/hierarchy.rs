@@ -88,8 +88,16 @@ impl MemoryHierarchy {
             l1i: Cache::new(config.l1i),
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
-            itlb: Tlb::new(config.itlb_entries, config.tlb_assoc, config.tlb_miss_latency),
-            dtlb: Tlb::new(config.dtlb_entries, config.tlb_assoc, config.tlb_miss_latency),
+            itlb: Tlb::new(
+                config.itlb_entries,
+                config.tlb_assoc,
+                config.tlb_miss_latency,
+            ),
+            dtlb: Tlb::new(
+                config.dtlb_entries,
+                config.tlb_assoc,
+                config.tlb_miss_latency,
+            ),
             config,
         }
     }

@@ -6,8 +6,12 @@ use proptest::prelude::*;
 
 fn arb_geometry() -> impl Strategy<Value = CacheConfig> {
     // sets ∈ {1..=64} pow2, assoc ∈ 1..=8, line ∈ {16,32,64,128}
-    (0u32..7, 1usize..=8, prop::sample::select(vec![16u64, 32, 64, 128])).prop_map(
-        |(set_pow, assoc, line)| {
+    (
+        0u32..7,
+        1usize..=8,
+        prop::sample::select(vec![16u64, 32, 64, 128]),
+    )
+        .prop_map(|(set_pow, assoc, line)| {
             let sets = 1u64 << set_pow;
             CacheConfig {
                 size_bytes: sets * assoc as u64 * line,
@@ -15,8 +19,7 @@ fn arb_geometry() -> impl Strategy<Value = CacheConfig> {
                 line_bytes: line,
                 hit_latency: 1,
             }
-        },
-    )
+        })
 }
 
 proptest! {

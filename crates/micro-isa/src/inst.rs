@@ -305,13 +305,10 @@ mod tests {
             [Some(Reg::int(2)), None]
         )
         .is_well_formed());
-        assert!(StaticInst::load(
-            pc,
-            Reg::int(1),
-            None,
-            AddressPattern::Fixed { addr: 0x10 }
-        )
-        .is_well_formed());
+        assert!(
+            StaticInst::load(pc, Reg::int(1), None, AddressPattern::Fixed { addr: 0x10 })
+                .is_well_formed()
+        );
         assert!(StaticInst::store(
             pc,
             Reg::int(1),

@@ -86,7 +86,7 @@ mod tests {
         };
         for k in 0..100 {
             let a = p.address(k);
-            assert!(a >= 0x1000 && a < 0x1000 + 256);
+            assert!((0x1000..0x1000 + 256).contains(&a));
         }
         assert_eq!(p.address(0), 0x1000);
         assert_eq!(p.address(1), 0x1040);
@@ -102,7 +102,7 @@ mod tests {
         };
         for k in 0..1000 {
             let a = p.address(k);
-            assert!(a >= 0x10_0000 && a < 0x10_0000 + (1 << 20));
+            assert!((0x10_0000..0x10_0000 + (1 << 20)).contains(&a));
             assert_eq!(a, p.address(k), "pure function of k");
         }
     }

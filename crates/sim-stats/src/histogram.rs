@@ -195,6 +195,26 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_buckets_read_as_empty() {
+        let mut h = Histogram::new();
+        h.record(3);
+        // Reads past the densely allocated range are defined, not panics.
+        assert_eq!(h.count(100), 0);
+        assert_eq!(h.fraction(100), 0.0);
+        assert!((h.fraction_below(100) - 1.0).abs() < 1e-12);
+        assert_eq!(h.max_value(), Some(3));
+    }
+
+    #[test]
+    fn companion_out_of_range_is_none() {
+        let mut c = CompanionHistogram::new();
+        c.record(2, 1.0, 2.0);
+        assert_eq!(c.companion(3), None, "bucket past the allocated range");
+        assert_eq!(c.companion(usize::MAX), None);
+        assert_eq!(c.histogram().count(usize::MAX), 0);
+    }
+
+    #[test]
     fn companion_zero_denominator_ignored() {
         let mut c = CompanionHistogram::new();
         c.record(0, 0.0, 0.0);

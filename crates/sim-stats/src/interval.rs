@@ -111,8 +111,29 @@ mod tests {
     fn empty_series_is_safe() {
         let s = IntervalSeries::new();
         assert_eq!(s.pve(0.5), 0.0);
+        assert_eq!(s.pve(0.0), 0.0, "no intervals means no emergencies");
+        assert_eq!(s.pve_within_margin(0.5, 0.02), 0.0);
         assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.len(), 0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_sample_series() {
+        let s = series(&[0.42]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.pve(0.41), 1.0);
+        assert_eq!(s.pve(0.42), 0.0);
+        assert!((s.max() - 0.42).abs() < 1e-12);
+        assert!((s.mean() - 0.42).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_samples() {
+        let s = series(&[0.1, 0.9, 0.5]);
+        let text = serde::json::to_string(&s);
+        let back: IntervalSeries = serde::json::from_str(&text).unwrap();
+        assert_eq!(back.samples(), s.samples());
     }
 
     #[test]

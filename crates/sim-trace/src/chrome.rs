@@ -1,0 +1,369 @@
+//! Chrome trace-event export (Perfetto / `chrome://tracing`).
+//!
+//! Simulated cycles map 1:1 to trace microseconds, so the timeline
+//! reads directly in cycles. Interval rollovers become counter tracks
+//! (`ph: "C"`) — hint-AVF, IPC, mean ready/IQ length — and discrete
+//! decisions (governor audit records, flushes, L2 misses) become
+//! instant events (`ph: "i"`) on per-category tracks.
+
+use crate::{GovernorEvent, TraceEvent, TraceSink};
+use serde::Value;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+
+/// Synthetic process/thread ids used to group tracks in the viewer.
+const PID: u64 = 1;
+const TID_PIPELINE: u64 = 1;
+const TID_GOVERNOR: u64 = 2;
+const TID_MEMORY: u64 = 3;
+
+/// Accumulates Chrome trace events and writes a complete JSON document
+/// on `flush` (and on drop).
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    events: Vec<Value>,
+    written: bool,
+    /// Cap on retained events so an unexpectedly long traced run cannot
+    /// exhaust memory; drops are counted and reported in metadata.
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ChromeTraceSink {
+    pub fn new(path: impl Into<PathBuf>) -> ChromeTraceSink {
+        ChromeTraceSink {
+            path: path.into(),
+            events: Vec::new(),
+            written: false,
+            capacity: 1_000_000,
+            dropped: 0,
+        }
+    }
+
+    pub fn with_capacity(mut self, capacity: usize) -> ChromeTraceSink {
+        self.capacity = capacity.max(1);
+        self
+    }
+
+    fn push(&mut self, event: Value) {
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
+    }
+
+    fn counter(&mut self, ts: u64, name: &str, value: f64) {
+        self.push(obj(vec![
+            ("name", Value::String(name.to_string())),
+            ("ph", Value::String("C".to_string())),
+            ("ts", Value::U64(ts)),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(TID_PIPELINE)),
+            ("args", obj(vec![("value", Value::F64(value))])),
+        ]));
+    }
+
+    fn instant(&mut self, ts: u64, tid: u64, name: &str, args: Vec<(&str, Value)>) {
+        self.push(obj(vec![
+            ("name", Value::String(name.to_string())),
+            ("ph", Value::String("i".to_string())),
+            ("s", Value::String("t".to_string())),
+            ("ts", Value::U64(ts)),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(tid)),
+            ("args", obj(args)),
+        ]));
+    }
+
+    /// Serialize the accumulated document to `self.path`.
+    pub fn write_file(&mut self) -> io::Result<()> {
+        let mut track_meta = Vec::new();
+        for (tid, label) in [
+            (TID_PIPELINE, "pipeline"),
+            (TID_GOVERNOR, "governor"),
+            (TID_MEMORY, "memory"),
+        ] {
+            track_meta.push(obj(vec![
+                ("name", Value::String("thread_name".to_string())),
+                ("ph", Value::String("M".to_string())),
+                ("pid", Value::U64(PID)),
+                ("tid", Value::U64(tid)),
+                (
+                    "args",
+                    obj(vec![("name", Value::String(label.to_string()))]),
+                ),
+            ]));
+        }
+        track_meta.extend(self.events.iter().cloned());
+        let doc = obj(vec![
+            ("traceEvents", Value::Array(track_meta)),
+            ("displayTimeUnit", Value::String("ms".to_string())),
+            (
+                "otherData",
+                obj(vec![
+                    ("generator", Value::String("sim-trace".to_string())),
+                    (
+                        "time_unit",
+                        Value::String("1us = 1 simulated cycle".to_string()),
+                    ),
+                    ("dropped_events", Value::U64(self.dropped)),
+                ]),
+            ),
+        ]);
+        let mut out = BufWriter::new(File::create(&self.path)?);
+        out.write_all(serde::json::to_string(&doc).as_bytes())?;
+        out.flush()?;
+        self.written = true;
+        Ok(())
+    }
+
+    /// Number of trace events accumulated so far (excluding metadata).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn record(&mut self, event: &TraceEvent) {
+        let ts = event.cycle();
+        match event {
+            TraceEvent::IntervalRollover {
+                ipc,
+                hint_avf,
+                avg_ready_len,
+                avg_iq_len,
+                l2_misses,
+                ..
+            } => {
+                self.counter(ts, "hint_avf", *hint_avf);
+                self.counter(ts, "ipc", *ipc);
+                self.counter(ts, "ready_len", *avg_ready_len);
+                self.counter(ts, "iq_len", *avg_iq_len);
+                self.counter(ts, "interval_l2_misses", *l2_misses as f64);
+            }
+            TraceEvent::L2Miss { tid, addr, .. } => {
+                self.instant(
+                    ts,
+                    TID_MEMORY,
+                    "l2_miss",
+                    vec![
+                        ("tid", Value::U64(*tid as u64)),
+                        ("addr", Value::U64(*addr)),
+                    ],
+                );
+            }
+            TraceEvent::Flush {
+                tid,
+                squashed,
+                reason,
+                ..
+            } => {
+                self.instant(
+                    ts,
+                    TID_PIPELINE,
+                    "flush",
+                    vec![
+                        ("tid", Value::U64(*tid as u64)),
+                        ("squashed", Value::U64(*squashed as u64)),
+                        ("reason", Value::String(format!("{reason:?}"))),
+                    ],
+                );
+            }
+            TraceEvent::Governor(gov) => {
+                let args = match gov {
+                    GovernorEvent::Opt1CapChange {
+                        old_cap,
+                        new_cap,
+                        avg_ready_len,
+                        region,
+                        ..
+                    } => vec![
+                        ("old_cap", Value::U64(*old_cap as u64)),
+                        ("new_cap", Value::U64(*new_cap as u64)),
+                        ("avg_ready_len", Value::F64(*avg_ready_len)),
+                        ("region", Value::U64(*region as u64)),
+                    ],
+                    GovernorEvent::Opt2FlushMode {
+                        enabled,
+                        interval_l2_misses,
+                        threshold,
+                        ..
+                    } => vec![
+                        ("enabled", Value::Bool(*enabled)),
+                        ("interval_l2_misses", Value::U64(*interval_l2_misses)),
+                        ("threshold", Value::U64(*threshold)),
+                    ],
+                    GovernorEvent::DvmTrigger {
+                        hint_avf,
+                        target,
+                        offender,
+                        thread_ace,
+                        ..
+                    } => vec![
+                        ("hint_avf", Value::F64(*hint_avf)),
+                        ("target", Value::F64(*target)),
+                        (
+                            "offender",
+                            match offender {
+                                Some(t) => Value::U64(*t as u64),
+                                None => Value::Null,
+                            },
+                        ),
+                        (
+                            "thread_ace",
+                            Value::Array(thread_ace.iter().map(|&a| Value::U64(a)).collect()),
+                        ),
+                    ],
+                    GovernorEvent::DvmRestore {
+                        hint_avf,
+                        target,
+                        restored_tid,
+                        ..
+                    } => vec![
+                        ("hint_avf", Value::F64(*hint_avf)),
+                        ("target", Value::F64(*target)),
+                        (
+                            "restored_tid",
+                            match restored_tid {
+                                Some(t) => Value::U64(*t as u64),
+                                None => Value::Null,
+                            },
+                        ),
+                    ],
+                    GovernorEvent::WqRatioAdjust {
+                        old_ratio,
+                        new_ratio,
+                        hint_avf,
+                        ready_len,
+                        ..
+                    } => vec![
+                        ("old_ratio", Value::F64(*old_ratio)),
+                        ("new_ratio", Value::F64(*new_ratio)),
+                        ("hint_avf", Value::F64(*hint_avf)),
+                        ("ready_len", Value::U64(*ready_len as u64)),
+                    ],
+                };
+                self.instant(ts, TID_GOVERNOR, gov.kind(), args);
+            }
+            // Per-cycle stage aggregates are high-volume and carry
+            // little timeline value at viewer zoom levels; the counter
+            // tracks above cover throughput trends.
+            TraceEvent::Fetch { .. }
+            | TraceEvent::Dispatch { .. }
+            | TraceEvent::Issue { .. }
+            | TraceEvent::Writeback { .. }
+            | TraceEvent::Commit { .. }
+            | TraceEvent::IqAllocate { .. }
+            | TraceEvent::IqFree { .. } => {}
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Err(err) = self.write_file() {
+            eprintln!(
+                "sim-trace: failed to write chrome trace {}: {err}",
+                self.path.display()
+            );
+        }
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        if !self.written && !self.events.is_empty() {
+            self.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlushReason;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::IntervalRollover {
+                cycle: 10_000,
+                index: 0,
+                ipc: 2.4,
+                hint_avf: 0.31,
+                avg_ready_len: 9.5,
+                avg_iq_len: 55.0,
+                l2_misses: 12,
+            },
+            TraceEvent::Governor(GovernorEvent::DvmTrigger {
+                cycle: 10_050,
+                hint_avf: 0.31,
+                target: 0.25,
+                offender: Some(2),
+                thread_ace: vec![4, 9, 40, 2],
+            }),
+            TraceEvent::Flush {
+                cycle: 10_060,
+                tid: 2,
+                squashed: 23,
+                reason: FlushReason::L2Miss,
+            },
+        ]
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let dir = std::env::temp_dir().join("sim_trace_chrome_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let mut sink = ChromeTraceSink::new(&path);
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = serde::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(phases.contains(&"C"), "counter events missing: {phases:?}");
+        assert!(phases.contains(&"i"), "instant events missing: {phases:?}");
+        assert!(phases.contains(&"M"), "track metadata missing");
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"dvm_trigger"));
+        assert!(names.contains(&"hint_avf"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn capacity_cap_counts_drops() {
+        let dir = std::env::temp_dir().join("sim_trace_chrome_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("capped.json");
+        let mut sink = ChromeTraceSink::new(&path).with_capacity(2);
+        for ev in sample_events() {
+            sink.record(&ev);
+        }
+        // 5 counters + 2 instants attempted, 2 kept.
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped, 5);
+        sink.written = true; // suppress drop-time file write
+    }
+}

@@ -1,0 +1,261 @@
+//! The typed event taxonomy emitted by the simulator and the
+//! reliability governors.
+//!
+//! Pipeline events are per-cycle aggregates (counts per stage), not
+//! per-instruction records: they keep trace volume proportional to
+//! simulated cycles while still reconstructing stage activity.
+//! IQ allocate/free and L2-miss events are per-occurrence since they
+//! are the quantities the reliability analysis reasons about.
+//! [`GovernorEvent`] is the audit log: every capacity, mode, throttle
+//! or trigger decision a governor takes, with the inputs it saw.
+
+use serde::{Deserialize, Serialize};
+
+/// Why the pipeline squashed in-flight work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushReason {
+    /// Opt2/DVM FLUSH response to a long-latency L2 miss.
+    L2Miss,
+    /// Branch misprediction recovery.
+    Misprediction,
+    /// Fetch-policy FLUSH (clogged-thread eviction).
+    FetchPolicy,
+}
+
+/// One audited governor decision (Opt1 / Opt2 / DVM).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GovernorEvent {
+    /// Opt1 adjusted the per-interval IQ allocation cap.
+    Opt1CapChange {
+        cycle: u64,
+        old_cap: usize,
+        new_cap: usize,
+        /// Mean ready-queue length of the closing interval.
+        avg_ready_len: f64,
+        /// IPC-region index the new cap was read from.
+        region: usize,
+    },
+    /// Opt2 toggled its L2-miss-sensitive FLUSH fallback.
+    Opt2FlushMode {
+        cycle: u64,
+        enabled: bool,
+        interval_l2_misses: u64,
+        threshold: u64,
+    },
+    /// DVM engaged its response (vulnerability emergency detected).
+    DvmTrigger {
+        cycle: u64,
+        /// Online hint-bit AVF estimate that crossed the target.
+        hint_avf: f64,
+        target: f64,
+        /// Offending thread chosen for throttling, if one stood out.
+        offender: Option<usize>,
+        /// Per-thread ACE-bit counts in the IQ at trigger time.
+        thread_ace: Vec<u64>,
+    },
+    /// DVM restored normal operation.
+    DvmRestore {
+        cycle: u64,
+        hint_avf: f64,
+        target: f64,
+        /// Thread whose fetch queue carried the fewest ACE bits and is
+        /// resumed first (paper's restore rule).
+        restored_tid: Option<usize>,
+    },
+    /// DVM adapted its waiting-queue ratio (slow increase / rapid
+    /// decrease controller).
+    WqRatioAdjust {
+        cycle: u64,
+        old_ratio: f64,
+        new_ratio: f64,
+        hint_avf: f64,
+        ready_len: usize,
+    },
+}
+
+/// A structured trace record. Cycle numbers are simulator cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// Instructions fetched for one thread this cycle.
+    Fetch {
+        cycle: u64,
+        tid: usize,
+        count: usize,
+    },
+    /// Instructions dispatched (renamed into IQ/ROB) for one thread.
+    Dispatch {
+        cycle: u64,
+        tid: usize,
+        count: usize,
+    },
+    /// Instructions selected for execution this cycle.
+    Issue {
+        cycle: u64,
+        count: usize,
+        ready_len: usize,
+    },
+    /// Instructions completing execution this cycle.
+    Writeback { cycle: u64, count: usize },
+    /// Instructions retired for one thread this cycle.
+    Commit {
+        cycle: u64,
+        tid: usize,
+        count: usize,
+    },
+    /// An IQ entry was allocated.
+    IqAllocate {
+        cycle: u64,
+        tid: usize,
+        seq: u64,
+        occupancy: usize,
+    },
+    /// An IQ entry was released.
+    IqFree {
+        cycle: u64,
+        tid: usize,
+        seq: u64,
+        occupancy: usize,
+    },
+    /// A load missed in the L2 (long-latency miss).
+    L2Miss { cycle: u64, tid: usize, addr: u64 },
+    /// In-flight instructions squashed for one thread.
+    Flush {
+        cycle: u64,
+        tid: usize,
+        squashed: usize,
+        reason: FlushReason,
+    },
+    /// A sampling interval closed.
+    IntervalRollover {
+        cycle: u64,
+        /// Zero-based interval index since measurement start.
+        index: u64,
+        ipc: f64,
+        hint_avf: f64,
+        avg_ready_len: f64,
+        avg_iq_len: f64,
+        l2_misses: u64,
+    },
+    /// Governor/DVM audit record.
+    Governor(GovernorEvent),
+}
+
+impl TraceEvent {
+    /// Stable, short event-kind label (used for filtering and as the
+    /// Chrome trace-event name).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Fetch { .. } => "fetch",
+            TraceEvent::Dispatch { .. } => "dispatch",
+            TraceEvent::Issue { .. } => "issue",
+            TraceEvent::Writeback { .. } => "writeback",
+            TraceEvent::Commit { .. } => "commit",
+            TraceEvent::IqAllocate { .. } => "iq_alloc",
+            TraceEvent::IqFree { .. } => "iq_free",
+            TraceEvent::L2Miss { .. } => "l2_miss",
+            TraceEvent::Flush { .. } => "flush",
+            TraceEvent::IntervalRollover { .. } => "interval",
+            TraceEvent::Governor(g) => g.kind(),
+        }
+    }
+
+    /// Cycle the event was recorded at.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            TraceEvent::Fetch { cycle, .. }
+            | TraceEvent::Dispatch { cycle, .. }
+            | TraceEvent::Issue { cycle, .. }
+            | TraceEvent::Writeback { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::IqAllocate { cycle, .. }
+            | TraceEvent::IqFree { cycle, .. }
+            | TraceEvent::L2Miss { cycle, .. }
+            | TraceEvent::Flush { cycle, .. }
+            | TraceEvent::IntervalRollover { cycle, .. } => *cycle,
+            TraceEvent::Governor(g) => g.cycle(),
+        }
+    }
+
+    pub fn is_governor(&self) -> bool {
+        matches!(self, TraceEvent::Governor(_))
+    }
+}
+
+impl GovernorEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            GovernorEvent::Opt1CapChange { .. } => "opt1_cap",
+            GovernorEvent::Opt2FlushMode { .. } => "opt2_flush_mode",
+            GovernorEvent::DvmTrigger { .. } => "dvm_trigger",
+            GovernorEvent::DvmRestore { .. } => "dvm_restore",
+            GovernorEvent::WqRatioAdjust { .. } => "wq_ratio",
+        }
+    }
+
+    pub fn cycle(&self) -> u64 {
+        match self {
+            GovernorEvent::Opt1CapChange { cycle, .. }
+            | GovernorEvent::Opt2FlushMode { cycle, .. }
+            | GovernorEvent::DvmTrigger { cycle, .. }
+            | GovernorEvent::DvmRestore { cycle, .. }
+            | GovernorEvent::WqRatioAdjust { cycle, .. } => *cycle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_roundtrip_through_json() {
+        let events = vec![
+            TraceEvent::Fetch {
+                cycle: 10,
+                tid: 2,
+                count: 4,
+            },
+            TraceEvent::Flush {
+                cycle: 11,
+                tid: 0,
+                squashed: 17,
+                reason: FlushReason::L2Miss,
+            },
+            TraceEvent::IntervalRollover {
+                cycle: 10_000,
+                index: 0,
+                ipc: 3.5,
+                hint_avf: 0.22,
+                avg_ready_len: 11.2,
+                avg_iq_len: 60.0,
+                l2_misses: 7,
+            },
+            TraceEvent::Governor(GovernorEvent::DvmTrigger {
+                cycle: 12_345,
+                hint_avf: 0.4,
+                target: 0.3,
+                offender: Some(1),
+                thread_ace: vec![10, 44, 3, 9],
+            }),
+        ];
+        for event in &events {
+            let text = serde::json::to_string(event);
+            let back: TraceEvent = serde::json::from_str(&text).unwrap();
+            assert_eq!(&back, event, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn kind_and_cycle_accessors() {
+        let ev = TraceEvent::Governor(GovernorEvent::WqRatioAdjust {
+            cycle: 99,
+            old_ratio: 1.0,
+            new_ratio: 0.5,
+            hint_avf: 0.31,
+            ready_len: 12,
+        });
+        assert_eq!(ev.kind(), "wq_ratio");
+        assert_eq!(ev.cycle(), 99);
+        assert!(ev.is_governor());
+    }
+}

@@ -77,7 +77,7 @@ impl MachineConfig {
         if self.fetch_threads_per_cycle == 0 {
             return Err("fetch_threads_per_cycle must be >= 1".into());
         }
-        if self.fu_pool_sizes.iter().any(|&s| s == 0) {
+        if self.fu_pool_sizes.contains(&0) {
             return Err("empty function-unit pool".into());
         }
         if self.mshr_per_thread == 0 {

@@ -99,6 +99,14 @@ pub trait DispatchGovernor {
     fn flush_override(&self) -> bool {
         false
     }
+
+    /// Hand the governor a tracer so its control decisions (cap changes,
+    /// mode switches, DVM trigger/restore) land in the audit log. The
+    /// pipeline calls this from [`Pipeline::set_tracer`]; governors with
+    /// no audit-worthy state ignore it.
+    ///
+    /// [`Pipeline::set_tracer`]: crate::pipeline::Pipeline::set_tracer
+    fn set_tracer(&mut self, _tracer: sim_trace::Tracer) {}
 }
 
 /// Baseline: dispatch everything the structural resources allow.

@@ -287,7 +287,11 @@ mod tests {
 
     #[test]
     fn icount_orders_by_in_flight() {
-        let threads = [tv(0, 30, 0, 0, false), tv(1, 5, 0, 0, false), tv(2, 10, 0, 0, false)];
+        let threads = [
+            tv(0, 30, 0, 0, false),
+            tv(1, 5, 0, 0, false),
+            tv(2, 10, 0, 0, false),
+        ];
         let view = FetchView {
             now: 0,
             threads: &threads,

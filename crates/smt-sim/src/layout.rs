@@ -45,6 +45,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn layout_is_consistent() {
         assert_eq!(IQ_ENTRY_BITS, 72);
         assert!(ACE_INST_BITS <= IQ_ENTRY_BITS);

@@ -50,7 +50,9 @@ pub mod types;
 pub use config::{MachineConfig, SimLimits};
 pub use dispatch::{DispatchGovernor, GovernorView, UnlimitedDispatch};
 pub use events::{NullObserver, RetireEvent, RetireKind, SimObserver};
-pub use fetch::{DataGating, FetchPolicy, FetchPolicyKind, Flush, Icount, PredictiveDataGating, Stall};
+pub use fetch::{
+    DataGating, FetchPolicy, FetchPolicyKind, Flush, Icount, PredictiveDataGating, Stall,
+};
 pub use issue::{IssuePolicy, OldestFirst, ReadyInst};
 pub use pipeline::{Pipeline, SimResult};
 pub use stats::{IntervalSnapshot, SimStats};

@@ -13,7 +13,7 @@
 //! the complexity.
 
 use crate::types::InstId;
-use micro_isa::{Reg, NUM_INT_REGS, NUM_FP_REGS};
+use micro_isa::{Reg, NUM_FP_REGS, NUM_INT_REGS};
 
 const NUM_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
 

@@ -142,6 +142,19 @@ mod tests {
     }
 
     #[test]
+    fn zero_cycle_interval_has_zero_ipc() {
+        // A truncated run can close an interval with committed work but
+        // zero elapsed cycles recorded; the ratio must stay finite.
+        let s = IntervalSnapshot {
+            cycles: 0,
+            committed: 42,
+            ..Default::default()
+        };
+        assert_eq!(s.ipc(), 0.0);
+        assert!(s.ipc().is_finite());
+    }
+
+    #[test]
     fn aggregate_metrics() {
         let mut s = SimStats::new(2);
         s.cycles = 100;

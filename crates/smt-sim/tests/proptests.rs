@@ -1,11 +1,11 @@
 //! Property tests for the pipeline containers and policy algebra.
 
+use micro_isa::OpClass;
 use proptest::prelude::*;
 use smt_sim::fu::FuPools;
 use smt_sim::iq::IssueQueue;
 use smt_sim::issue::{IssuePolicy, OldestFirst, ReadyInst};
 use smt_sim::layout;
-use micro_isa::OpClass;
 
 fn arb_ready(n: usize) -> impl Strategy<Value = Vec<ReadyInst>> {
     prop::collection::vec((0u64..10_000, prop::bool::ANY), 0..n).prop_map(|items| {

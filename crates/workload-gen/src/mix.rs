@@ -74,13 +74,21 @@ pub fn standard_mixes() -> Vec<WorkloadMix> {
     let table: [(&str, MixGroup, [&'static str; 4]); 9] = [
         ("CPU-A", MixGroup::Cpu, ["bzip2", "eon", "gcc", "perlbmk"]),
         ("CPU-B", MixGroup::Cpu, ["gap", "facerec", "crafty", "mesa"]),
-        ("CPU-C", MixGroup::Cpu, ["gcc", "perlbmk", "facerec", "crafty"]),
+        (
+            "CPU-C",
+            MixGroup::Cpu,
+            ["gcc", "perlbmk", "facerec", "crafty"],
+        ),
         ("MIX-A", MixGroup::Mix, ["gcc", "mcf", "vpr", "perlbmk"]),
         ("MIX-B", MixGroup::Mix, ["mcf", "mesa", "crafty", "equake"]),
         ("MIX-C", MixGroup::Mix, ["vpr", "facerec", "swim", "gap"]),
         ("MEM-A", MixGroup::Mem, ["mcf", "equake", "vpr", "swim"]),
         ("MEM-B", MixGroup::Mem, ["lucas", "galgel", "mcf", "vpr"]),
-        ("MEM-C", MixGroup::Mem, ["equake", "swim", "twolf", "galgel"]),
+        (
+            "MEM-C",
+            MixGroup::Mem,
+            ["equake", "swim", "twolf", "galgel"],
+        ),
     ];
     table
         .into_iter()

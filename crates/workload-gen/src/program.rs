@@ -30,9 +30,7 @@
 //!   post-loop store → every instance ACE.
 
 use crate::model::BenchmarkModel;
-use micro_isa::{
-    AddressPattern, BranchInfo, BranchKind, BranchSem, OpClass, Pc, Reg, StaticInst,
-};
+use micro_isa::{AddressPattern, BranchInfo, BranchKind, BranchSem, OpClass, Pc, Reg, StaticInst};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -225,7 +223,11 @@ impl Gen {
                 .random_range(domains::LONG.start..domains::LONG.end);
             return Some(if fp { Reg::fp(n) } else { Reg::int(n) });
         }
-        let list = if fp { &self.recent_fp } else { &self.recent_int };
+        let list = if fp {
+            &self.recent_fp
+        } else {
+            &self.recent_int
+        };
         if list.is_empty() {
             return if fp {
                 None
@@ -361,9 +363,7 @@ impl Gen {
                 }
             } else {
                 let fp = self.rng.random_bool(m.frac_fp);
-                let value = self
-                    .live_src(fp)
-                    .unwrap_or(Reg::int(domains::INDUCTION));
+                let value = self.live_src(fp).unwrap_or(Reg::int(domains::INDUCTION));
                 self.push(StaticInst::store(
                     pc,
                     value,
@@ -485,7 +485,12 @@ impl Gen {
             let pc = self.pc();
             let dest = Reg::int(self.live_int.advance());
             let s0 = self.live_src(false);
-            self.push(StaticInst::compute(pc, OpClass::IAlu, Some(dest), [s0, None]));
+            self.push(StaticInst::compute(
+                pc,
+                OpClass::IAlu,
+                Some(dest),
+                [s0, None],
+            ));
             self.note_write(dest, false);
         }
         // Reset the induction register (dead-write then live immediately —
@@ -911,9 +916,8 @@ mod tests {
     fn memory_heavy_models_emit_more_mem_ops() {
         let cpu = generate_program(&crate::spec::model_by_name("bzip2").unwrap());
         let mem = generate_program(&crate::spec::model_by_name("mcf").unwrap());
-        let frac = |p: &Program| {
-            p.insts.iter().filter(|i| i.op.is_mem()).count() as f64 / p.len() as f64
-        };
+        let frac =
+            |p: &Program| p.insts.iter().filter(|i| i.op.is_mem()).count() as f64 / p.len() as f64;
         assert!(frac(&mem) > frac(&cpu));
     }
 }

@@ -140,24 +140,240 @@ pub fn all_models() -> Vec<BenchmarkModel> {
     use BenchClass::{CpuIntensive as Cpu, MemIntensive as Mem};
     vec![
         // name      class  fp    mem   br    dep   footprint  scat  trip  hard  dead
-        model("applu", Mem, 0.85, 0.32, 0.04, 4.0, 12 * MB, 0.04, 48, 0.04, 0.08),
-        model("bzip2", Cpu, 0.02, 0.26, 0.13, 2.2, 192 * KB, 0.05, 14, 0.11, 0.08),
-        model("crafty", Cpu, 0.01, 0.28, 0.14, 2.0, 256 * KB, 0.08, 10, 0.14, 0.08),
-        model("eon", Cpu, 0.45, 0.30, 0.11, 2.4, 128 * KB, 0.05, 12, 0.10, 0.08),
-        model("equake", Mem, 0.80, 0.35, 0.06, 4.5, 24 * MB, 0.15, 32, 0.04, 0.08),
-        model("facerec", Cpu, 0.75, 0.28, 0.07, 2.6, 384 * KB, 0.04, 24, 0.05, 0.08),
-        model("galgel", Mem, 0.88, 0.34, 0.05, 3.8, 16 * MB, 0.08, 40, 0.03, 0.08),
-        model("gap", Cpu, 0.05, 0.27, 0.12, 2.3, 256 * KB, 0.06, 16, 0.09, 0.08),
-        model("gcc", Cpu, 0.02, 0.29, 0.15, 2.1, 320 * KB, 0.07, 9, 0.13, 0.08),
-        model("lucas", Mem, 0.90, 0.33, 0.03, 4.2, 20 * MB, 0.05, 64, 0.03, 0.08),
-        model("mcf", Mem, 0.03, 0.38, 0.10, 5.5, 48 * MB, 0.30, 20, 0.12, 0.08),
-        model("mesa", Cpu, 0.60, 0.27, 0.09, 2.5, 256 * KB, 0.05, 18, 0.07, 0.08),
-        model("mgrid", Mem, 0.90, 0.34, 0.03, 3.6, 14 * MB, 0.03, 56, 0.03, 0.08),
-        model("perlbmk", Cpu, 0.03, 0.30, 0.14, 2.2, 224 * KB, 0.06, 12, 0.11, 0.08),
-        model("swim", Mem, 0.88, 0.36, 0.03, 4.0, 32 * MB, 0.04, 60, 0.03, 0.08),
-        model("twolf", Mem, 0.10, 0.33, 0.12, 4.8, 8 * MB, 0.22, 15, 0.12, 0.08),
-        model("vpr", Mem, 0.12, 0.35, 0.11, 5.0, 18 * MB, 0.25, 16, 0.12, 0.08),
-        model("wupwise", Cpu, 0.82, 0.28, 0.05, 2.8, 512 * KB, 0.03, 36, 0.06, 0.08),
+        model(
+            "applu",
+            Mem,
+            0.85,
+            0.32,
+            0.04,
+            4.0,
+            12 * MB,
+            0.04,
+            48,
+            0.04,
+            0.08,
+        ),
+        model(
+            "bzip2",
+            Cpu,
+            0.02,
+            0.26,
+            0.13,
+            2.2,
+            192 * KB,
+            0.05,
+            14,
+            0.11,
+            0.08,
+        ),
+        model(
+            "crafty",
+            Cpu,
+            0.01,
+            0.28,
+            0.14,
+            2.0,
+            256 * KB,
+            0.08,
+            10,
+            0.14,
+            0.08,
+        ),
+        model(
+            "eon",
+            Cpu,
+            0.45,
+            0.30,
+            0.11,
+            2.4,
+            128 * KB,
+            0.05,
+            12,
+            0.10,
+            0.08,
+        ),
+        model(
+            "equake",
+            Mem,
+            0.80,
+            0.35,
+            0.06,
+            4.5,
+            24 * MB,
+            0.15,
+            32,
+            0.04,
+            0.08,
+        ),
+        model(
+            "facerec",
+            Cpu,
+            0.75,
+            0.28,
+            0.07,
+            2.6,
+            384 * KB,
+            0.04,
+            24,
+            0.05,
+            0.08,
+        ),
+        model(
+            "galgel",
+            Mem,
+            0.88,
+            0.34,
+            0.05,
+            3.8,
+            16 * MB,
+            0.08,
+            40,
+            0.03,
+            0.08,
+        ),
+        model(
+            "gap",
+            Cpu,
+            0.05,
+            0.27,
+            0.12,
+            2.3,
+            256 * KB,
+            0.06,
+            16,
+            0.09,
+            0.08,
+        ),
+        model(
+            "gcc",
+            Cpu,
+            0.02,
+            0.29,
+            0.15,
+            2.1,
+            320 * KB,
+            0.07,
+            9,
+            0.13,
+            0.08,
+        ),
+        model(
+            "lucas",
+            Mem,
+            0.90,
+            0.33,
+            0.03,
+            4.2,
+            20 * MB,
+            0.05,
+            64,
+            0.03,
+            0.08,
+        ),
+        model(
+            "mcf",
+            Mem,
+            0.03,
+            0.38,
+            0.10,
+            5.5,
+            48 * MB,
+            0.30,
+            20,
+            0.12,
+            0.08,
+        ),
+        model(
+            "mesa",
+            Cpu,
+            0.60,
+            0.27,
+            0.09,
+            2.5,
+            256 * KB,
+            0.05,
+            18,
+            0.07,
+            0.08,
+        ),
+        model(
+            "mgrid",
+            Mem,
+            0.90,
+            0.34,
+            0.03,
+            3.6,
+            14 * MB,
+            0.03,
+            56,
+            0.03,
+            0.08,
+        ),
+        model(
+            "perlbmk",
+            Cpu,
+            0.03,
+            0.30,
+            0.14,
+            2.2,
+            224 * KB,
+            0.06,
+            12,
+            0.11,
+            0.08,
+        ),
+        model(
+            "swim",
+            Mem,
+            0.88,
+            0.36,
+            0.03,
+            4.0,
+            32 * MB,
+            0.04,
+            60,
+            0.03,
+            0.08,
+        ),
+        model(
+            "twolf",
+            Mem,
+            0.10,
+            0.33,
+            0.12,
+            4.8,
+            8 * MB,
+            0.22,
+            15,
+            0.12,
+            0.08,
+        ),
+        model(
+            "vpr",
+            Mem,
+            0.12,
+            0.35,
+            0.11,
+            5.0,
+            18 * MB,
+            0.25,
+            16,
+            0.12,
+            0.08,
+        ),
+        model(
+            "wupwise",
+            Cpu,
+            0.82,
+            0.28,
+            0.05,
+            2.8,
+            512 * KB,
+            0.03,
+            36,
+            0.06,
+            0.08,
+        ),
     ]
 }
 

@@ -16,27 +16,29 @@ fn arb_model() -> impl Strategy<Value = BenchmarkModel> {
         0.0f64..0.25,  // mixed
         2u32..12,      // regions
     )
-        .prop_map(|(fp, mem, br, dep, trip, scat, dead, mixed, regions)| BenchmarkModel {
-            name: "prop",
-            class: BenchClass::CpuIntensive,
-            frac_fp: fp,
-            frac_mem: mem,
-            frac_branch: br,
-            frac_nop: 0.03,
-            load_frac: 0.7,
-            dep_chain_depth: dep,
-            dep_locality: 0.35,
-            footprint: 256 * 1024,
-            scatter_frac: scat,
-            stride_bytes: 8,
-            avg_loop_trip: trip,
-            branch_bias: 0.6,
-            hard_branch_frac: 0.2,
-            dead_code_frac: dead,
-            mixed_ace_frac: mixed,
-            num_regions: regions,
-            block_len: (4, 12),
-        })
+        .prop_map(
+            |(fp, mem, br, dep, trip, scat, dead, mixed, regions)| BenchmarkModel {
+                name: "prop",
+                class: BenchClass::CpuIntensive,
+                frac_fp: fp,
+                frac_mem: mem,
+                frac_branch: br,
+                frac_nop: 0.03,
+                load_frac: 0.7,
+                dep_chain_depth: dep,
+                dep_locality: 0.35,
+                footprint: 256 * 1024,
+                scatter_frac: scat,
+                stride_bytes: 8,
+                avg_loop_trip: trip,
+                branch_bias: 0.6,
+                hard_branch_frac: 0.2,
+                dead_code_frac: dead,
+                mixed_ace_frac: mixed,
+                num_regions: regions,
+                block_len: (4, 12),
+            },
+        )
 }
 
 proptest! {

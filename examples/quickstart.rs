@@ -21,7 +21,8 @@ fn main() {
     // Baseline policies: ICOUNT fetch, oldest-first issue, unlimited
     // dispatch. (`Scheme` builds the paper's configurations; see the
     // visa_pipeline example.)
-    let (policies, _) = Scheme::Baseline.policies(smtsim::sim::FetchPolicyKind::Icount, machine.iq_size);
+    let (policies, _) =
+        Scheme::Baseline.policies(smtsim::sim::FetchPolicyKind::Icount, machine.iq_size);
     let mut pipeline = Pipeline::new(machine.clone(), mix.programs(), policies);
 
     // Warm caches and predictors (the SimPoint-fast-forward stand-in),
@@ -36,11 +37,17 @@ fn main() {
     println!("instructions:        {}", stats.total_committed());
     println!("throughput IPC:      {:.2}", stats.throughput_ipc());
     println!("harmonic IPC:        {:.2}", stats.harmonic_ipc());
-    println!("branch mispredicts:  {:.1}%", stats.mispredict_rate() * 100.0);
+    println!(
+        "branch mispredicts:  {:.1}%",
+        stats.mispredict_rate() * 100.0
+    );
     println!("L2 misses:           {}", stats.l2_misses);
     println!("mean ready-queue:    {:.1}", stats.avg_ready_len());
     println!();
-    println!("IQ  AVF: {:.1}%  <- the reliability hot-spot", report.iq_avf * 100.0);
+    println!(
+        "IQ  AVF: {:.1}%  <- the reliability hot-spot",
+        report.iq_avf * 100.0
+    );
     println!("ROB AVF: {:.1}%", report.rob_avf * 100.0);
     println!("RF  AVF: {:.1}%", report.rf_avf * 100.0);
     println!("FU  AVF: {:.1}%", report.fu_avf * 100.0);

@@ -1,0 +1,120 @@
+//! Inspect a traced DVM run two ways at once: programmatically through
+//! a [`RingSink`] handle, and visually through a Chrome trace-event
+//! export (open the file in Perfetto or `chrome://tracing`).
+//!
+//! A baseline run anchors the workload's MaxIQ_AVF; the second run
+//! attaches a tee of both sinks and lets DVM chase a reliability target
+//! of half that maximum, so the trace contains the controller's full
+//! audit trail: triggers, restores, and wq_ratio adjustments.
+//!
+//! ```text
+//! cargo run --release --example trace_inspection [MIX] [OUT.json]
+//! ```
+
+use smtsim::avf::{profiler, AvfCollector};
+use smtsim::reliability::Scheme;
+use smtsim::sim::{FetchPolicyKind, MachineConfig, Pipeline, SimLimits};
+use smtsim::trace::chrome::ChromeTraceSink;
+use smtsim::trace::sinks::RingSink;
+use smtsim::trace::{TraceEvent, TraceSink, Tracer};
+use smtsim::workloads::mix_by_name;
+
+/// Forwards every event to both an in-memory ring and the Chrome
+/// exporter — the sink trait composes, so "inspect now" and "view
+/// later" need not be separate runs.
+struct TeeSink {
+    ring: RingSink,
+    chrome: ChromeTraceSink,
+}
+
+impl TraceSink for TeeSink {
+    fn record(&mut self, event: &TraceEvent) {
+        self.ring.record(event);
+        self.chrome.record(event);
+    }
+
+    fn flush(&mut self) {
+        self.chrome.flush();
+    }
+}
+
+fn main() {
+    let mix_name = std::env::args().nth(1).unwrap_or_else(|| "MEM-A".into());
+    let out_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "dvm_trace.json".into());
+    let mix = mix_by_name(&mix_name).expect("standard mix name (CPU-A..MEM-C)");
+    let machine = MachineConfig::table2();
+    let tagged: Vec<_> = mix
+        .programs()
+        .iter()
+        .map(|p| profiler::profile_and_tag(p, 150_000, 40_000).0)
+        .collect();
+
+    let run = |scheme: Scheme, tracer: Tracer| {
+        let (policies, _) = scheme.policies(FetchPolicyKind::Icount, machine.iq_size);
+        let mut pipeline = Pipeline::new(machine.clone(), tagged.clone(), policies);
+        pipeline.set_tracer(tracer);
+        let start = pipeline.warm_up(300_000);
+        let mut collector = AvfCollector::standard(&machine).with_start_cycle(start);
+        let result = pipeline.run(SimLimits::cycles(400_000), &mut collector);
+        pipeline.tracer().flush();
+        (collector.report(), result.stats)
+    };
+
+    // Untraced baseline anchors the reliability target.
+    let (base_report, _) = run(Scheme::Baseline, Tracer::off());
+    let target = 0.5 * base_report.max_interval_iq_avf();
+    println!(
+        "workload {mix_name}: MaxIQ_AVF {:.1}%, DVM target {:.1}%",
+        base_report.max_interval_iq_avf() * 100.0,
+        target * 100.0
+    );
+
+    // Traced DVM run through the tee.
+    let ring = RingSink::new(200_000);
+    let events = ring.handle();
+    let tee = TeeSink {
+        ring,
+        chrome: ChromeTraceSink::new(&out_path),
+    };
+    let (dvm_report, dvm_stats) = run(Scheme::DvmDynamic { target }, Tracer::new(tee));
+
+    println!(
+        "DVM run: IPC {:.2}, PVE {:.0}%, {} events recorded ({} retained)",
+        dvm_stats.throughput_ipc(),
+        dvm_report.iq_interval_avf.pve(target) * 100.0,
+        events.total_recorded(),
+        events.len()
+    );
+    println!("event mix in the ring:");
+    for kind in [
+        "interval",
+        "l2_miss",
+        "flush",
+        "dvm_trigger",
+        "dvm_restore",
+        "wq_ratio",
+    ] {
+        println!("  {kind:>12}: {}", events.of_kind(kind).len());
+    }
+
+    // Walk the governor's audit trail — every DVM decision, in order.
+    let audit: Vec<TraceEvent> = events
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.is_governor())
+        .collect();
+    assert!(
+        !audit.is_empty(),
+        "a DVM run at half MaxIQ_AVF must log governor decisions"
+    );
+    println!("first governor decisions:");
+    for event in audit.iter().take(5) {
+        println!("  cycle {:>8}: {}", event.cycle(), event.kind());
+    }
+    println!(
+        "chrome trace with {} governor event(s) -> {out_path} (open in Perfetto)",
+        audit.len()
+    );
+}

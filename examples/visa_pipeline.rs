@@ -44,7 +44,10 @@ fn main() {
         .collect();
 
     // Steps 2-4: run the scheme ladder.
-    println!("\n{:<12} {:>8} {:>9} {:>8} {:>9}", "scheme", "IQ AVF", "(norm)", "IPC", "(norm)");
+    println!(
+        "\n{:<12} {:>8} {:>9} {:>8} {:>9}",
+        "scheme", "IQ AVF", "(norm)", "IPC", "(norm)"
+    );
     let mut base: Option<(f64, f64)> = None;
     for scheme in [
         Scheme::Baseline,

@@ -22,6 +22,8 @@
 //!   resource allocation (opt1), L2-miss-sensitive allocation (opt2) and
 //!   dynamic vulnerability management (DVM).
 //! * [`stats`] — interval statistics, histograms, IPC/harmonic-IPC/PVE.
+//! * [`trace`] — structured pipeline/governor tracing: pluggable sinks,
+//!   Chrome trace-event export, phase/stage wall-clock profiling.
 //! * [`experiments`] — one runner per paper table/figure.
 //!
 //! ## Quickstart
@@ -41,5 +43,6 @@ pub use iq_reliability as reliability;
 pub use mem_hier as mem;
 pub use micro_isa as isa;
 pub use sim_stats as stats;
+pub use sim_trace as trace;
 pub use smt_sim as sim;
 pub use workload_gen as workloads;

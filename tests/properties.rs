@@ -13,17 +13,17 @@ use std::sync::Arc;
 /// behaviour knobs.
 fn arb_model() -> impl Strategy<Value = BenchmarkModel> {
     (
-        0.0f64..0.9,     // frac_fp
-        0.05f64..0.45,   // frac_mem
-        0.02f64..0.18,   // frac_branch
-        1.5f64..6.0,     // dep_chain_depth
-        16u64..65_536,   // footprint KB
-        0.0f64..0.8,     // scatter_frac
-        2u32..64,        // avg_loop_trip
-        0.0f64..0.4,     // hard_branch_frac
-        0.0f64..0.3,     // dead_code_frac
-        0.0f64..0.3,     // mixed_ace_frac
-        2u32..16,        // num_regions
+        0.0f64..0.9,   // frac_fp
+        0.05f64..0.45, // frac_mem
+        0.02f64..0.18, // frac_branch
+        1.5f64..6.0,   // dep_chain_depth
+        16u64..65_536, // footprint KB
+        0.0f64..0.8,   // scatter_frac
+        2u32..64,      // avg_loop_trip
+        0.0f64..0.4,   // hard_branch_frac
+        0.0f64..0.3,   // dead_code_frac
+        0.0f64..0.3,   // mixed_ace_frac
+        2u32..16,      // num_regions
     )
         .prop_map(
             |(fp, mem, br, dep, fkb, scat, trip, hard, dead, mixed, regions)| BenchmarkModel {

@@ -1,0 +1,814 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! replacement provides the derive-based (de)serialization the
+//! workspace relies on, restructured around a concrete [`Value`] tree
+//! instead of serde's visitor machinery: `Serialize` renders any type
+//! to a `Value`, `Deserialize` rebuilds it, and the [`json`] module
+//! reads/writes `Value` as JSON text. `#[derive(Serialize, Deserialize)]`
+//! comes from the companion `serde_derive` stand-in (enabled by the
+//! `derive` feature, as upstream).
+
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree; the interchange format between typed
+/// values and JSON text. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            Value::I64(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(n) => Some(*n),
+            Value::U64(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            Value::U64(n) => Some(*n as f64),
+            Value::I64(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization / deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<bool, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {value:?}")))
+    }
+}
+
+macro_rules! unsigned_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected unsigned integer, got {value:?}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+unsigned_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<$t, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!(
+                        "expected integer, got {value:?}"
+                    )))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!(
+                    "{n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+signed_impls!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<f64, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {value:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<f32, Error> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<String, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {value:?}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Vec<T>, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<[T; N], Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))?;
+        if items.len() != N {
+            return Err(Error::custom(format!(
+                "expected array of length {N}, got {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::custom("array length changed during conversion"))
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($idx:tt $t:ident),+);)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<($($t,)+), Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array, got {value:?}")))?;
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected {LEN}-tuple, got array of length {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+tuple_impls! {
+    (0 A, 1 B);
+    (0 A, 1 B, 2 C);
+    (0 A, 1 B, 2 C, 3 D);
+    (0 A, 1 B, 2 C, 3 D, 4 E);
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F);
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---- helpers used by serde_derive-generated code ----
+
+#[doc(hidden)]
+pub fn __expect_object(value: &Value, type_name: &str) -> Result<(), Error> {
+    match value {
+        Value::Object(_) => Ok(()),
+        other => Err(Error::custom(format!(
+            "expected object for {type_name}, got {other:?}"
+        ))),
+    }
+}
+
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    let field = value
+        .get(name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))?;
+    T::from_value(field).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}
+
+/// Enum variant encoding: unit variants are a bare string, payload
+/// variants a single-key object `{"Name": payload}`.
+#[doc(hidden)]
+pub fn __variant_value(name: &str, payload: Value) -> Value {
+    Value::Object(vec![(name.to_string(), payload)])
+}
+
+#[doc(hidden)]
+pub fn __variant<'v>(
+    value: &'v Value,
+    type_name: &str,
+) -> Result<(&'v str, Option<&'v Value>), Error> {
+    match value {
+        Value::String(name) => Ok((name, None)),
+        Value::Object(entries) if entries.len() == 1 => Ok((&entries[0].0, Some(&entries[0].1))),
+        other => Err(Error::custom(format!(
+            "expected variant string or single-key object for {type_name}, got {other:?}"
+        ))),
+    }
+}
+
+#[doc(hidden)]
+pub fn __payload<'v>(payload: Option<&'v Value>, variant: &str) -> Result<&'v Value, Error> {
+    payload.ok_or_else(|| Error::custom(format!("missing payload for variant {variant}")))
+}
+
+#[doc(hidden)]
+pub fn __tuple<'v>(value: &'v Value, arity: usize, variant: &str) -> Result<&'v [Value], Error> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array payload for {variant}")))?;
+    if items.len() != arity {
+        return Err(Error::custom(format!(
+            "expected {arity} elements for {variant}, got {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// JSON text encoding of [`Value`] trees (what `serde_json` provides
+/// upstream; folded in here to keep the offline dependency set small).
+pub mod json {
+    use super::{Deserialize, Error, Serialize, Value};
+    use std::fmt::Write as _;
+
+    pub fn to_value<T: Serialize>(value: &T) -> Value {
+        value.to_value()
+    }
+
+    pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+        T::from_value(value)
+    }
+
+    /// Compact JSON text.
+    pub fn to_string<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&value.to_value(), &mut out, None, 0);
+        out
+    }
+
+    /// Human-readable JSON with two-space indentation.
+    pub fn to_string_pretty<T: Serialize>(value: &T) -> String {
+        let mut out = String::new();
+        write_value(&value.to_value(), &mut out, Some(2), 0);
+        out
+    }
+
+    pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+        T::from_value(&parse(text)?)
+    }
+
+    fn write_value(value: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    // Debug formatting is shortest-roundtrip and always
+                    // includes a decimal point or exponent.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_value(item, out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, item)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_string(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(item, out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * depth {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    /// Parse JSON text into a [`Value`] tree.
+    pub fn parse(text: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.parse_value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::custom(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(value)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                    self.pos += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(Error::custom(format!(
+                    "expected `{}` at byte {}",
+                    b as char, self.pos
+                )))
+            }
+        }
+
+        fn eat_literal(&mut self, lit: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+                self.pos += lit.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn parse_value(&mut self) -> Result<Value, Error> {
+            match self.peek() {
+                Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+                Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+                Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+                Some(b'"') => self.parse_string().map(Value::String),
+                Some(b'[') => self.parse_array(),
+                Some(b'{') => self.parse_object(),
+                Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+                other => Err(Error::custom(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|b| b as char),
+                    self.pos
+                ))),
+            }
+        }
+
+        fn parse_array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.parse_value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `]` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn parse_object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut entries = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.parse_string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.parse_value()?;
+                entries.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `}}` at byte {}",
+                            self.pos
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn parse_string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            let mut chars = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| Error::custom("invalid UTF-8 in string"))?
+                .char_indices();
+            while let Some((offset, c)) = chars.next() {
+                match c {
+                    '"' => {
+                        self.pos += offset + 1;
+                        return Ok(out);
+                    }
+                    '\\' => match chars.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, '/')) => out.push('/'),
+                        Some((_, 'b')) => out.push('\u{8}'),
+                        Some((_, 'f')) => out.push('\u{c}'),
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 'r')) => out.push('\r'),
+                        Some((_, 't')) => out.push('\t'),
+                        Some((_, 'u')) => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars
+                                    .next()
+                                    .ok_or_else(|| Error::custom("truncated \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16)
+                                        .ok_or_else(|| Error::custom("invalid \\u escape"))?;
+                            }
+                            // Surrogates (from paired \u escapes) are
+                            // replaced; none of our writers emit them.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::custom(format!("invalid escape {other:?}")));
+                        }
+                    },
+                    c => out.push(c),
+                }
+            }
+            Err(Error::custom("unterminated string"))
+        }
+
+        fn parse_number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::custom("invalid number"))?;
+            if !is_float {
+                if let Ok(n) = text.parse::<u64>() {
+                    return Ok(Value::U64(n));
+                }
+                if let Ok(n) = text.parse::<i64>() {
+                    return Ok(Value::I64(n));
+                }
+            }
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json;
+    use super::{Deserialize, Error, Serialize, Value};
+
+    #[test]
+    fn primitives_roundtrip_through_text() {
+        let v = (42u64, -7i32, true, 2.5f64, "hi\n\"quoted\"".to_string());
+        let text = json::to_string(&v);
+        let back: (u64, i32, bool, f64, String) = json::from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v: Vec<Option<[u32; 2]>> = vec![Some([1, 2]), None, Some([3, 4])];
+        let back: Vec<Option<[u32; 2]>> = json::from_str(&json::to_string(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn manual_struct_style_roundtrip() {
+        struct P {
+            x: f64,
+            label: String,
+        }
+        impl Serialize for P {
+            fn to_value(&self) -> Value {
+                Value::Object(vec![
+                    ("x".to_string(), self.x.to_value()),
+                    ("label".to_string(), self.label.to_value()),
+                ])
+            }
+        }
+        impl Deserialize for P {
+            fn from_value(value: &Value) -> Result<P, Error> {
+                Ok(P {
+                    x: crate::__field(value, "x")?,
+                    label: crate::__field(value, "label")?,
+                })
+            }
+        }
+        let p = P {
+            x: 0.125,
+            label: "probe".to_string(),
+        };
+        let text = json::to_string_pretty(&p);
+        assert!(text.contains("\"x\": 0.125"), "{text}");
+        let back: P = json::from_str(&text).unwrap();
+        assert_eq!(back.x, p.x);
+        assert_eq!(back.label, p.label);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(json::to_string(&f64::NAN), "null");
+        let opt: Option<f64> = json::from_str("null").unwrap();
+        assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("12 34").is_err());
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v: Vec<Vec<u32>> = vec![vec![1, 2], vec![], vec![3]];
+        let pretty = json::to_string_pretty(&v);
+        let back: Vec<Vec<u32>> = json::from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,371 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A dependency-free (no syn/quote) proc macro that hand-parses the
+//! derive input token stream and generates impls of the vendored
+//! `serde::Serialize` / `serde::Deserialize` traits (which are
+//! `Value`-based rather than visitor-based). Supports the shapes this
+//! workspace derives on: non-generic named-field structs and enums with
+//! unit, named and tuple variants. Anything else gets a compile error
+//! naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+use std::iter::Peekable;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+/// Skip `#[...]` attribute groups (doc comments arrive as these too).
+fn skip_attrs<I: Iterator<Item = TokenTree>>(iter: &mut Peekable<I>) {
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        iter.next(); // the bracketed attribute body
+    }
+}
+
+/// Skip `pub` / `pub(...)` visibility markers.
+fn skip_visibility<I: Iterator<Item = TokenTree>>(iter: &mut Peekable<I>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs(&mut iter);
+    skip_visibility(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde derive: expected item name, got {other:?}")),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "serde derive: generic type `{name}` is not supported"
+            ));
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "serde derive: tuple struct `{name}` is not supported"
+            ));
+        }
+        other => {
+            return Err(format!(
+                "serde derive: expected `{{...}}` body for `{name}`, got {other:?}"
+            ))
+        }
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)?),
+        "enum" => Shape::Enum(parse_variants(body)?),
+        other => return Err(format!("serde derive: cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+/// Split a token stream on commas that sit outside every `<...>` pair.
+/// Parens/brackets/braces arrive as opaque groups, so only angle
+/// brackets need explicit depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Field names of a `{ name: Type, ... }` body (types are irrelevant:
+/// generated code lets inference pick the right trait impl).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(body) {
+        let mut iter = chunk.into_iter().peekable();
+        skip_attrs(&mut iter);
+        skip_visibility(&mut iter);
+        let fname = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde derive: expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde derive: expected `:` after field `{fname}`, got {other:?}"
+                ))
+            }
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(body) {
+        let mut iter = chunk.into_iter().peekable();
+        skip_attrs(&mut iter);
+        let vname = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        let kind = match iter.next() {
+            None => VariantKind::Unit,
+            // Explicit discriminant (`Name = 3`): payload-less.
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantKind::Unit,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                VariantKind::Tuple(split_top_level(g.stream()).len())
+            }
+            other => {
+                return Err(format!(
+                    "serde derive: unexpected token after variant `{vname}`: {other:?}"
+                ))
+            }
+        };
+        variants.push(Variant { name: vname, kind });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n"
+    );
+    match &item.shape {
+        Shape::Struct(fields) => {
+            out.push_str("::serde::Value::Object(::std::vec![\n");
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"
+                );
+            }
+            out.push_str("])\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vn} => ::serde::Value::String(::std::string::String::from({vn:?})),"
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let _ = writeln!(
+                            out,
+                            "{name}::{vn} {{ {bindings} }} => \
+                             ::serde::__variant_value({vn:?}, ::serde::Value::Object(::std::vec!["
+                        );
+                        for f in fields {
+                            let _ = writeln!(
+                                out,
+                                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f})),"
+                            );
+                        }
+                        out.push_str("])),\n");
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let bindings: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let pat = bindings.join(", ");
+                        if *arity == 1 {
+                            let _ = writeln!(
+                                out,
+                                "{name}::{vn}({pat}) => \
+                                 ::serde::__variant_value({vn:?}, ::serde::Serialize::to_value(__f0)),"
+                            );
+                        } else {
+                            let items: Vec<String> = bindings
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            let _ = writeln!(
+                                out,
+                                "{name}::{vn}({pat}) => ::serde::__variant_value({vn:?}, \
+                                 ::serde::Value::Array(::std::vec![{}])),",
+                                items.join(", ")
+                            );
+                        }
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    );
+    match &item.shape {
+        Shape::Struct(fields) => {
+            let _ = writeln!(out, "::serde::__expect_object(__value, {name:?})?;");
+            out.push_str("::std::result::Result::Ok(Self {\n");
+            for f in fields {
+                let _ = writeln!(out, "{f}: ::serde::__field(__value, {f:?})?,");
+            }
+            out.push_str("})\n");
+        }
+        Shape::Enum(variants) => {
+            let _ = write!(
+                out,
+                "let (__variant, __payload) = ::serde::__variant(__value, {name:?})?;\n\
+                 match __variant {{\n"
+            );
+            for v in variants {
+                let vn = &v.name;
+                let ctx = format!("{name}::{vn}");
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(out, "{vn:?} => ::std::result::Result::Ok(Self::{vn}),");
+                    }
+                    VariantKind::Named(fields) => {
+                        let _ = write!(
+                            out,
+                            "{vn:?} => {{\n\
+                             let __p = ::serde::__payload(__payload, {ctx:?})?;\n\
+                             ::std::result::Result::Ok(Self::{vn} {{\n"
+                        );
+                        for f in fields {
+                            let _ = writeln!(out, "{f}: ::serde::__field(__p, {f:?})?,");
+                        }
+                        out.push_str("})\n},\n");
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let _ = write!(
+                            out,
+                            "{vn:?} => {{\n\
+                             let __p = ::serde::__payload(__payload, {ctx:?})?;\n"
+                        );
+                        if *arity == 1 {
+                            let _ = writeln!(
+                                out,
+                                "::std::result::Result::Ok(Self::{vn}(\
+                                 ::serde::Deserialize::from_value(__p)?))"
+                            );
+                        } else {
+                            let _ = write!(
+                                out,
+                                "let __items = ::serde::__tuple(__p, {arity}, {ctx:?})?;\n\
+                                 ::std::result::Result::Ok(Self::{vn}(\n"
+                            );
+                            for i in 0..*arity {
+                                let _ = writeln!(
+                                    out,
+                                    "::serde::Deserialize::from_value(&__items[{i}])?,"
+                                );
+                            }
+                            out.push_str("))\n");
+                        }
+                        out.push_str("},\n");
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{__other}}` for {name}\"))),\n}}\n"
+            );
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
