@@ -1,0 +1,423 @@
+//! `bench-baseline` — the perf/AVF regression harness.
+//!
+//! Runs a fixed, scheme-diverse exhibit set (baseline, opt1, opt2 and
+//! DVM, over CPU- and MEM-bound mixes) across N workload salts and
+//! records, per exhibit, the cross-seed [`SeedSummary`] of host
+//! wall-time, throughput IPC, harmonic IPC and ground-truth IQ AVF into
+//! a schema-versioned `BENCH_<tag>.json`. A later run compares itself
+//! against that file with [`compare`]: wall-time regressions are gated
+//! one-sided at +15 %, simulation metrics two-sided at 2 % *and* beyond
+//! the combined 95 % confidence intervals — a drift smaller than the
+//! seed noise is not a regression, it is weather.
+
+use crate::context::ExperimentContext;
+use crate::manifest::BudgetSummary;
+use crate::parallel::parallel_map;
+use crate::report::Rendered;
+use crate::runner::run_scheme_salted;
+use iq_reliability::Scheme;
+use serde::{Deserialize, Serialize};
+use sim_stats::{SeedSummary, Table};
+use smt_sim::FetchPolicyKind;
+use std::io;
+use std::path::Path;
+
+/// Bump when the JSON layout changes; [`compare`] refuses mismatches.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// One-sided wall-time gate: current mean may exceed baseline by 15 %.
+pub const WALL_TIME_TOLERANCE: f64 = 0.15;
+
+/// Two-sided simulation-metric gate: 2 % relative drift.
+pub const METRIC_TOLERANCE: f64 = 0.02;
+
+/// One fixed benchmark case.
+pub struct BenchCase {
+    pub name: &'static str,
+    pub mix: &'static str,
+    pub scheme: Scheme,
+    pub fetch: FetchPolicyKind,
+}
+
+/// The fixed exhibit set: one representative per governor family, over
+/// both CPU- and MEM-bound mixes.
+pub fn bench_cases() -> Vec<BenchCase> {
+    vec![
+        BenchCase {
+            name: "fig2-cpu-baseline",
+            mix: "CPU-A",
+            scheme: Scheme::Baseline,
+            fetch: FetchPolicyKind::Icount,
+        },
+        BenchCase {
+            name: "opt1-mix",
+            mix: "MIX-A",
+            scheme: Scheme::VisaOpt1,
+            fetch: FetchPolicyKind::Icount,
+        },
+        BenchCase {
+            name: "opt2-flush-mem",
+            mix: "MEM-B",
+            scheme: Scheme::VisaOpt2,
+            fetch: FetchPolicyKind::Flush,
+        },
+        BenchCase {
+            name: "dvm-mem",
+            mix: "MEM-A",
+            scheme: Scheme::DvmDynamic { target: 0.15 },
+            fetch: FetchPolicyKind::Icount,
+        },
+    ]
+}
+
+/// Cross-seed digest of one bench case.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchExhibit {
+    pub name: String,
+    pub mix: String,
+    pub scheme: String,
+    pub fetch: String,
+    pub wall_time_s: SeedSummary,
+    pub throughput_ipc: SeedSummary,
+    pub harmonic_ipc: SeedSummary,
+    pub iq_avf: SeedSummary,
+}
+
+/// A whole baseline file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchBaseline {
+    pub schema_version: u32,
+    /// Seeded runs aggregated per exhibit.
+    pub seeds: u64,
+    /// Measurement budget every run used (compared on `--check-baseline`:
+    /// numbers from different budgets are not comparable).
+    pub budget: BudgetSummary,
+    pub exhibits: Vec<BenchExhibit>,
+}
+
+impl BenchBaseline {
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, serde::json::to_string_pretty(self))
+    }
+
+    pub fn load(path: &Path) -> io::Result<BenchBaseline> {
+        let text = std::fs::read_to_string(path)?;
+        serde::json::from_str(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}")))
+    }
+
+    pub fn exhibit(&self, name: &str) -> Option<&BenchExhibit> {
+        self.exhibits.iter().find(|e| e.name == name)
+    }
+}
+
+/// Run the fixed exhibit set across `seeds` workload salts and digest
+/// the results. Runs fan out across cores; per-exhibit sample order is
+/// restored afterwards so the output is deterministic per (budget,
+/// seeds) regardless of scheduling.
+pub fn run_bench(ctx: &ExperimentContext, seeds: u64) -> BenchBaseline {
+    let seeds = seeds.max(1);
+    let cases = bench_cases();
+    let jobs: Vec<(usize, u64)> = (0..cases.len())
+        .flat_map(|c| (0..seeds).map(move |s| (c, s)))
+        .collect();
+    let outcomes = parallel_map(jobs, |&(c, salt)| {
+        let case = &cases[c];
+        let mix = workload_gen::mix_by_name(case.mix)
+            .unwrap_or_else(|| panic!("unknown bench mix {}", case.mix));
+        (
+            c,
+            run_scheme_salted(ctx, &mix, case.scheme, case.fetch, salt),
+        )
+    });
+
+    let exhibits = cases
+        .iter()
+        .enumerate()
+        .map(|(c, case)| {
+            let runs: Vec<_> = outcomes.iter().filter(|(i, _)| *i == c).collect();
+            let col = |f: &dyn Fn(&crate::runner::RunOutcome) -> f64| {
+                SeedSummary::from_samples(&runs.iter().map(|(_, o)| f(o)).collect::<Vec<_>>())
+            };
+            BenchExhibit {
+                name: case.name.to_string(),
+                mix: case.mix.to_string(),
+                scheme: case.scheme.label().to_string(),
+                fetch: format!("{:?}", case.fetch),
+                wall_time_s: col(&|o| o.timings.total_s()),
+                throughput_ipc: col(&|o| o.throughput_ipc),
+                harmonic_ipc: col(&|o| o.harmonic_ipc),
+                iq_avf: col(&|o| o.avf.iq_avf),
+            }
+        })
+        .collect();
+
+    BenchBaseline {
+        schema_version: BENCH_SCHEMA_VERSION,
+        seeds,
+        budget: BudgetSummary {
+            profile_insts: ctx.params.profile_insts,
+            warmup_insts: ctx.params.warmup_insts,
+            run_cycles: ctx.params.run_cycles,
+            ace_window: ctx.params.ace_window as u64,
+        },
+        exhibits,
+    }
+}
+
+/// The campaign-report table: one row per exhibit, `mean ± ci95` cells.
+pub fn render(b: &BenchBaseline) -> Rendered {
+    let mut t = Table::new(vec![
+        "exhibit",
+        "mix",
+        "scheme",
+        "fetch",
+        "wall s",
+        "IPC",
+        "harmonic IPC",
+        "IQ AVF",
+    ]);
+    for e in &b.exhibits {
+        t.row(vec![
+            e.name.clone(),
+            e.mix.clone(),
+            e.scheme.clone(),
+            e.fetch.clone(),
+            e.wall_time_s.display(2),
+            e.throughput_ipc.display(3),
+            e.harmonic_ipc.display(3),
+            e.iq_avf.display(4),
+        ]);
+    }
+    Rendered::new(
+        format!(
+            "Bench baseline (schema v{}, {} seed(s)/exhibit)",
+            b.schema_version, b.seeds
+        ),
+        t,
+    )
+    .note(
+        "cells are cross-seed mean ±CI95 (Student-t) over independently salted workloads"
+            .to_string(),
+    )
+}
+
+/// Compare `current` against a recorded `baseline`. Returns one line
+/// per regression; empty means the check passed.
+pub fn compare(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<String> {
+    let mut out = Vec::new();
+    if baseline.schema_version != current.schema_version {
+        out.push(format!(
+            "schema version mismatch: baseline v{}, current v{} — re-record the baseline",
+            baseline.schema_version, current.schema_version
+        ));
+        return out;
+    }
+    if baseline.budget != current.budget {
+        out.push(format!(
+            "budget mismatch: baseline {:?}, current {:?} — re-record the baseline",
+            baseline.budget, current.budget
+        ));
+        return out;
+    }
+    for base in &baseline.exhibits {
+        let Some(cur) = current.exhibit(&base.name) else {
+            out.push(format!("exhibit {} missing from current run", base.name));
+            continue;
+        };
+        // Wall time: one-sided, means only (getting faster is fine).
+        let wall_limit = base.wall_time_s.mean * (1.0 + WALL_TIME_TOLERANCE);
+        if cur.wall_time_s.mean > wall_limit {
+            out.push(format!(
+                "{}: wall time {:.2}s exceeds baseline {:.2}s by more than {:.0}%",
+                base.name,
+                cur.wall_time_s.mean,
+                base.wall_time_s.mean,
+                WALL_TIME_TOLERANCE * 100.0
+            ));
+        }
+        for (metric, b, c) in [
+            ("throughput IPC", &base.throughput_ipc, &cur.throughput_ipc),
+            ("harmonic IPC", &base.harmonic_ipc, &cur.harmonic_ipc),
+            ("IQ AVF", &base.iq_avf, &cur.iq_avf),
+        ] {
+            if let Some(line) = metric_drift(&base.name, metric, b, c) {
+                out.push(line);
+            }
+        }
+    }
+    for cur in &current.exhibits {
+        if baseline.exhibit(&cur.name).is_none() {
+            out.push(format!("exhibit {} absent from baseline", cur.name));
+        }
+    }
+    out
+}
+
+/// Two-sided metric gate: relative drift beyond [`METRIC_TOLERANCE`]
+/// *and* beyond the combined CI95 half-widths (so seed noise recorded
+/// in the baseline widens the gate instead of tripping it).
+fn metric_drift(
+    exhibit: &str,
+    metric: &str,
+    base: &SeedSummary,
+    cur: &SeedSummary,
+) -> Option<String> {
+    let delta = (cur.mean - base.mean).abs();
+    let scale = base.mean.abs().max(1e-9);
+    let rel = delta / scale;
+    if rel > METRIC_TOLERANCE && delta > base.ci95 + cur.ci95 {
+        Some(format!(
+            "{exhibit}: {metric} drifted {:.2}% ({} -> {}; combined CI95 {:.4})",
+            rel * 100.0,
+            base.display(4),
+            cur.display(4),
+            base.ci95 + cur.ci95
+        ))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64, ci95: f64) -> SeedSummary {
+        SeedSummary {
+            n: 3,
+            mean,
+            stddev: ci95 / 2.0,
+            ci95,
+        }
+    }
+
+    fn exhibit(name: &str) -> BenchExhibit {
+        BenchExhibit {
+            name: name.to_string(),
+            mix: "CPU-A".to_string(),
+            scheme: "baseline".to_string(),
+            fetch: "Icount".to_string(),
+            wall_time_s: summary(10.0, 0.5),
+            throughput_ipc: summary(3.0, 0.01),
+            harmonic_ipc: summary(0.7, 0.005),
+            iq_avf: summary(0.30, 0.002),
+        }
+    }
+
+    fn baseline() -> BenchBaseline {
+        BenchBaseline {
+            schema_version: BENCH_SCHEMA_VERSION,
+            seeds: 3,
+            budget: BudgetSummary {
+                profile_insts: 60_000,
+                warmup_insts: 150_000,
+                run_cycles: 120_000,
+                ace_window: 40_000,
+            },
+            exhibits: vec![exhibit("fig2-cpu-baseline"), exhibit("dvm-mem")],
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = baseline();
+        assert!(compare(&b, &b.clone()).is_empty());
+    }
+
+    #[test]
+    fn wall_time_gate_is_one_sided() {
+        let b = baseline();
+        let mut fast = b.clone();
+        fast.exhibits[0].wall_time_s = summary(2.0, 0.1);
+        assert!(compare(&b, &fast).is_empty(), "speedups never regress");
+        let mut slow = b.clone();
+        slow.exhibits[0].wall_time_s = summary(12.0, 0.1);
+        let regressions = compare(&b, &slow);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("wall time"));
+    }
+
+    #[test]
+    fn metric_gate_needs_both_tolerance_and_ci_excess() {
+        let b = baseline();
+        // 1% IPC drift: inside tolerance, passes.
+        let mut small = b.clone();
+        small.exhibits[0].throughput_ipc = summary(3.03, 0.01);
+        assert!(compare(&b, &small).is_empty());
+        // 10% drift but huge CIs: noise, passes.
+        let mut noisy = b.clone();
+        noisy.exhibits[0].throughput_ipc = summary(3.3, 0.4);
+        noisy.exhibits[0].wall_time_s = b.exhibits[0].wall_time_s;
+        let mut wide_base = b.clone();
+        wide_base.exhibits[0].throughput_ipc = summary(3.0, 0.4);
+        assert!(compare(&wide_base, &noisy).is_empty());
+        // 10% drift with tight CIs: regression, both directions.
+        let mut real = b.clone();
+        real.exhibits[0].throughput_ipc = summary(2.7, 0.01);
+        let regressions = compare(&b, &real);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("throughput IPC"));
+    }
+
+    #[test]
+    fn schema_and_budget_mismatches_fail_fast() {
+        let b = baseline();
+        let mut other = b.clone();
+        other.schema_version += 1;
+        let r = compare(&b, &other);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("schema version"));
+        let mut rebudgeted = b.clone();
+        rebudgeted.budget.run_cycles *= 2;
+        let r = compare(&b, &rebudgeted);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("budget mismatch"));
+    }
+
+    #[test]
+    fn exhibit_set_differences_are_reported() {
+        let b = baseline();
+        let mut missing = b.clone();
+        missing.exhibits.pop();
+        let r = compare(&b, &missing);
+        assert!(r.iter().any(|l| l.contains("missing from current")));
+        let r = compare(&missing, &b);
+        assert!(r.iter().any(|l| l.contains("absent from baseline")));
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_file() {
+        let b = baseline();
+        let path = std::env::temp_dir().join("smtsim_bench_roundtrip.json");
+        b.write(&path).unwrap();
+        let back = BenchBaseline::load(&path).unwrap();
+        assert_eq!(back, b);
+        std::fs::remove_file(&path).ok();
+        assert!(BenchBaseline::load(&path).is_err(), "missing file errors");
+    }
+
+    #[test]
+    fn bench_cases_cover_all_governor_families() {
+        let cases = bench_cases();
+        let mut names: Vec<_> = cases.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cases.len(), "duplicate case name");
+        for mix in ["CPU-A", "MIX-A", "MEM-A", "MEM-B"] {
+            assert!(cases.iter().any(|c| c.mix == mix), "{mix} missing");
+            assert!(workload_gen::mix_by_name(mix).is_some());
+        }
+        assert!(cases
+            .iter()
+            .any(|c| matches!(c.scheme, Scheme::DvmDynamic { .. })));
+    }
+
+    #[test]
+    fn report_shows_mean_and_ci() {
+        let text = render(&baseline()).to_text();
+        assert!(text.contains("fig2-cpu-baseline"));
+        assert!(text.contains("±"), "CI95 rendered: {text}");
+        assert!(text.contains("3 seed(s)"));
+    }
+}

@@ -50,6 +50,21 @@ impl ExperimentParams {
             threshold_fracs: [0.7, 0.6, 0.5, 0.4, 0.3],
         }
     }
+
+    /// Bench-baseline budget: small enough that a multi-seed sweep
+    /// finishes as a debug-build CI smoke job, large enough to close
+    /// 12 sampling intervals per run. Baselines recorded under one
+    /// budget are only comparable to runs under the same budget (the
+    /// comparator enforces this).
+    pub fn bench() -> ExperimentParams {
+        ExperimentParams {
+            profile_insts: 60_000,
+            warmup_insts: 150_000,
+            run_cycles: 120_000,
+            ace_window: 40_000,
+            threshold_fracs: [0.7, 0.6, 0.5, 0.4, 0.3],
+        }
+    }
 }
 
 /// Shared context: machine configuration plus a lazily filled cache of
@@ -57,9 +72,13 @@ impl ExperimentParams {
 pub struct ExperimentContext {
     pub params: ExperimentParams,
     pub machine: MachineConfig,
-    tagged: Mutex<HashMap<&'static str, (Arc<Program>, ProfileResult)>>,
+    #[allow(clippy::type_complexity)]
+    tagged: Mutex<HashMap<(&'static str, u64), (Arc<Program>, ProfileResult)>>,
     /// When set, each run exports a Chrome trace-event file here.
     trace_dir: Option<PathBuf>,
+    /// When set, each run records a sim-metrics registry and exports
+    /// its per-interval JSONL series and Prometheus text here.
+    metrics_dir: Option<PathBuf>,
     /// Monotonic run ids tying manifests to trace file names.
     run_counter: AtomicU64,
     /// Manifests of completed runs; the CLI drains this after each
@@ -74,6 +93,7 @@ impl ExperimentContext {
             machine: MachineConfig::table2(),
             tagged: Mutex::new(HashMap::new()),
             trace_dir: None,
+            metrics_dir: None,
             run_counter: AtomicU64::new(0),
             manifests: Mutex::new(Vec::new()),
         }
@@ -87,6 +107,16 @@ impl ExperimentContext {
 
     pub fn trace_dir(&self) -> Option<&Path> {
         self.trace_dir.as_deref()
+    }
+
+    /// Enable per-run sim-metrics recording and export into `dir`.
+    pub fn with_metrics_dir(mut self, dir: impl Into<PathBuf>) -> ExperimentContext {
+        self.metrics_dir = Some(dir.into());
+        self
+    }
+
+    pub fn metrics_dir(&self) -> Option<&Path> {
+        self.metrics_dir.as_deref()
     }
 
     /// Next campaign-unique run id.
@@ -106,24 +136,40 @@ impl ExperimentContext {
 
     /// The profiled, hint-tagged program for one benchmark (cached).
     pub fn tagged_program(&self, name: &'static str) -> (Arc<Program>, ProfileResult) {
-        if let Some(hit) = self.tagged.lock().get(name) {
+        self.tagged_program_salted(name, 0)
+    }
+
+    /// Salted variant: salt 0 is the canonical seeded workload; other
+    /// salts draw independent programs from the same benchmark model
+    /// (cross-seed aggregation, bench baselines).
+    pub fn tagged_program_salted(
+        &self,
+        name: &'static str,
+        salt: u64,
+    ) -> (Arc<Program>, ProfileResult) {
+        if let Some(hit) = self.tagged.lock().get(&(name, salt)) {
             return hit.clone();
         }
         // Profile outside the lock: profiling is the expensive part and
         // distinct benchmarks may be profiled concurrently.
         let model =
             workload_gen::model_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-        let raw = Arc::new(workload_gen::generate_program(&model));
+        let raw = Arc::new(workload_gen::generate_program_salted(&model, salt));
         let entry = profile_and_tag(&raw, self.params.profile_insts, self.params.ace_window);
         let mut cache = self.tagged.lock();
-        cache.entry(name).or_insert(entry).clone()
+        cache.entry((name, salt)).or_insert(entry).clone()
     }
 
     /// The four tagged programs of a mix, in context order.
     pub fn mix_programs(&self, mix: &WorkloadMix) -> Vec<Arc<Program>> {
+        self.mix_programs_salted(mix, 0)
+    }
+
+    /// Salted variant of [`mix_programs`](Self::mix_programs).
+    pub fn mix_programs_salted(&self, mix: &WorkloadMix, salt: u64) -> Vec<Arc<Program>> {
         mix.benchmarks
             .iter()
-            .map(|&n| self.tagged_program(n).0)
+            .map(|&n| self.tagged_program_salted(n, salt).0)
             .collect()
     }
 }
@@ -140,6 +186,18 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(ra.accuracy, rb.accuracy);
         assert!(a.insts.iter().any(|i| i.ace_hint), "hints installed");
+    }
+
+    #[test]
+    fn salted_programs_cache_independently() {
+        let ctx = ExperimentContext::new(ExperimentParams::fast());
+        let (canonical, _) = ctx.tagged_program("gcc");
+        let (salt0, _) = ctx.tagged_program_salted("gcc", 0);
+        let (salt1, _) = ctx.tagged_program_salted("gcc", 1);
+        assert!(Arc::ptr_eq(&canonical, &salt0), "salt 0 is canonical");
+        assert!(!Arc::ptr_eq(&canonical, &salt1));
+        let (salt1b, _) = ctx.tagged_program_salted("gcc", 1);
+        assert!(Arc::ptr_eq(&salt1, &salt1b), "salted entries cached too");
     }
 
     #[test]

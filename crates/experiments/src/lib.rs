@@ -20,7 +20,9 @@
 //! the host ([`parallel::parallel_map`]) — simulations share nothing
 //! mutable, so the fan-out is embarrassingly parallel.
 
+pub mod bench;
 pub mod context;
+pub mod exhibits;
 pub mod fig1;
 pub mod fig10;
 pub mod fig2;
@@ -36,7 +38,9 @@ pub mod table1;
 pub mod table2;
 pub mod table3;
 
+pub use bench::{BenchBaseline, BENCH_SCHEMA_VERSION};
 pub use context::{ExperimentContext, ExperimentParams};
+pub use exhibits::{Exhibit, EXHIBITS};
 pub use manifest::RunManifest;
 pub use report::Rendered;
-pub use runner::{run_scheme, run_stats_only, RunOutcome};
+pub use runner::{run_scheme, run_scheme_salted, run_stats_only, RunOutcome};

@@ -1,8 +1,11 @@
 //! CLI: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--fast] [--csv DIR] [--manifest DIR] [--trace DIR] [EXHIBIT...]
-//!   EXHIBIT: table1 table2 table3 fig1 fig2 fig5 fig6 fig8 fig9 fig10 all
+//! experiments [--fast] [--csv DIR] [--manifest DIR] [--trace DIR]
+//!             [--metrics DIR] [EXHIBIT...]
+//! experiments --list
+//! experiments bench-baseline [--seeds N] [--out FILE]
+//!             [--check-baseline FILE] [--metrics DIR]
 //! ```
 //!
 //! With no exhibit arguments, everything runs (`all`). `--fast` uses the
@@ -12,36 +15,56 @@
 //! writes one JSON run manifest per simulation (machine config, seeds,
 //! scheme, budget, phase timings, final metrics). `--trace DIR` exports
 //! a Chrome trace-event file per simulation (open in Perfetto or
-//! `chrome://tracing`).
+//! `chrome://tracing`). `--metrics DIR` records a sim-metrics registry
+//! per simulation and exports its per-interval series as
+//! `run*.series.jsonl` plus a Prometheus text file, and merges a digest
+//! into the run's manifest.
+//!
+//! `--list` prints the exhibit catalog (name + description) and exits.
+//!
+//! `bench-baseline` runs the fixed regression exhibit set over `--seeds`
+//! workload salts (default 3) and prints the cross-seed report;
+//! `--out FILE` records the schema-versioned baseline JSON and
+//! `--check-baseline FILE` compares against a recorded one, exiting 1 on
+//! any wall-time (>15 %) or simulation-metric (>2 % beyond seed noise)
+//! regression.
 //!
 //! Unknown exhibit names are rejected up front (exit code 2) before any
 //! simulation starts; repeated exhibit names run once.
 
 use experiments::context::{ExperimentContext, ExperimentParams};
-use experiments::{fig1, fig10, fig2, fig5, fig6, fig8, table1, table2, table3};
-use smt_sim::FetchPolicyKind;
+use experiments::{bench, exhibits};
 use std::path::PathBuf;
 use std::time::Instant;
 
-const KNOWN_EXHIBITS: [&str; 10] = [
-    "table1", "table2", "table3", "fig1", "fig2", "fig5", "fig6", "fig8", "fig9", "fig10",
-];
-
 /// Flags that consume the following argument.
-const VALUE_FLAGS: [&str; 3] = ["--csv", "--manifest", "--trace"];
+const VALUE_FLAGS: [&str; 7] = [
+    "--csv",
+    "--manifest",
+    "--trace",
+    "--metrics",
+    "--out",
+    "--check-baseline",
+    "--seeds",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        print!("{}", exhibits::list_text());
+        return;
+    }
     let fast = args.iter().any(|a| a == "--fast");
-    let dir_flag = |flag: &str| -> Option<PathBuf> {
+    let value_of = |flag: &str| -> Option<&String> {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1))
-            .map(PathBuf::from)
     };
+    let dir_flag = |flag: &str| -> Option<PathBuf> { value_of(flag).map(PathBuf::from) };
     let csv_dir = dir_flag("--csv");
     let manifest_dir = dir_flag("--manifest");
     let trace_dir = dir_flag("--trace");
+    let metrics_dir = dir_flag("--metrics");
 
     let mut skip_next = false;
     let requested: Vec<&str> = args
@@ -60,26 +83,48 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
 
+    if requested.first() == Some(&"bench-baseline") {
+        let extra: Vec<&str> = requested[1..].to_vec();
+        if !extra.is_empty() {
+            eprintln!("bench-baseline takes no exhibit arguments: {extra:?}");
+            std::process::exit(2);
+        }
+        let seeds = match value_of("--seeds").map(|s| s.parse::<u64>()) {
+            Some(Ok(n)) if n >= 1 => n,
+            None => 3,
+            bad => {
+                eprintln!("--seeds wants a positive integer, got {bad:?}");
+                std::process::exit(2);
+            }
+        };
+        run_bench_baseline(
+            seeds,
+            dir_flag("--out"),
+            dir_flag("--check-baseline"),
+            metrics_dir,
+        );
+        return;
+    }
+
     // Validate every exhibit name before any simulation starts, so a
     // typo at the end of a long campaign list fails in milliseconds,
     // not hours.
     let unknown: Vec<&str> = requested
         .iter()
         .copied()
-        .filter(|e| *e != "all" && !KNOWN_EXHIBITS.contains(e))
+        .filter(|e| *e != "all" && exhibits::find(e).is_none())
         .collect();
     if !unknown.is_empty() {
         for e in &unknown {
             eprintln!("unknown exhibit: {e}");
         }
-        eprintln!("known exhibits: {} all", KNOWN_EXHIBITS.join(" "));
+        let names: Vec<&str> = exhibits::EXHIBITS.iter().map(|e| e.name).collect();
+        eprintln!("known exhibits: {} all", names.join(" "));
         std::process::exit(2);
     }
 
     let wanted: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
-        vec![
-            "table2", "table3", "table1", "fig1", "fig2", "fig5", "fig6", "fig8", "fig9", "fig10",
-        ]
+        exhibits::DEFAULT_ORDER.to_vec()
     } else {
         // Dedupe repeated names, preserving first-occurrence order.
         let mut seen = Vec::new();
@@ -99,6 +144,9 @@ fn main() {
     let mut ctx = ExperimentContext::new(params);
     if let Some(dir) = &trace_dir {
         ctx = ctx.with_trace_dir(dir);
+    }
+    if let Some(dir) = &metrics_dir {
+        ctx = ctx.with_metrics_dir(dir);
     }
     let ctx = ctx;
     println!(
@@ -127,25 +175,8 @@ fn main() {
 
     for exhibit in wanted {
         let t0 = Instant::now();
-        match exhibit {
-            "table1" => emit("table1", vec![table1::render(&table1::run(&ctx))]),
-            "table2" => emit("table2", vec![table2::render(&ctx.machine)]),
-            "table3" => emit("table3", vec![table3::render()]),
-            "fig1" => emit("fig1", vec![fig1::render(&fig1::run(&ctx))]),
-            "fig2" => emit("fig2", vec![fig2::render(&fig2::run(&ctx))]),
-            "fig5" => emit("fig5", vec![fig5::render(&fig5::run(&ctx))]),
-            "fig6" => emit("fig6", fig6::render(&fig6::run(&ctx))),
-            "fig8" => emit("fig8", vec![fig8::render(&fig8::run(&ctx))]),
-            "fig9" => emit(
-                "fig9",
-                vec![fig8::render(&fig8::run_with_fetch(
-                    &ctx,
-                    FetchPolicyKind::Flush,
-                ))],
-            ),
-            "fig10" => emit("fig10", vec![fig10::render(&fig10::run(&ctx))]),
-            other => unreachable!("exhibit {other} validated above"),
-        }
+        let entry = exhibits::find(exhibit).expect("exhibit validated above");
+        emit(exhibit, entry.run(&ctx));
         // Drain per-run manifests accumulated by this exhibit; write
         // them out if requested, otherwise discard to bound memory.
         let manifests = ctx.drain_manifests();
@@ -194,5 +225,64 @@ fn main() {
             );
         }
         println!("  [{exhibit} took {:.1?}]\n", t0.elapsed());
+    }
+}
+
+/// The `bench-baseline` subcommand: run, report, optionally record
+/// and/or gate against a recorded baseline.
+fn run_bench_baseline(
+    seeds: u64,
+    out: Option<PathBuf>,
+    check: Option<PathBuf>,
+    metrics_dir: Option<PathBuf>,
+) {
+    let mut ctx = ExperimentContext::new(ExperimentParams::bench());
+    if let Some(dir) = &metrics_dir {
+        ctx = ctx.with_metrics_dir(dir);
+    }
+    println!(
+        "# smtsim bench-baseline (schema v{}, {} seed(s)/exhibit, warmup {} insts, {} measured cycles/run)\n",
+        bench::BENCH_SCHEMA_VERSION,
+        seeds,
+        ctx.params.warmup_insts,
+        ctx.params.run_cycles
+    );
+    let t0 = Instant::now();
+    let current = bench::run_bench(&ctx, seeds);
+    println!("{}", bench::render(&current));
+    println!("  [bench ran in {:.1?}]", t0.elapsed());
+    ctx.drain_manifests(); // bench digests outcomes itself
+
+    if let Some(path) = &out {
+        match current.write(path) {
+            Ok(()) => println!("  [baseline -> {}]", path.display()),
+            Err(e) => {
+                eprintln!("cannot write baseline {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &check {
+        let baseline = match bench::BenchBaseline::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot load baseline {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        let regressions = bench::compare(&baseline, &current);
+        if regressions.is_empty() {
+            println!(
+                "  [baseline check passed against {} ({} exhibit(s))]",
+                path.display(),
+                baseline.exhibits.len()
+            );
+        } else {
+            eprintln!("baseline check FAILED against {}:", path.display());
+            for r in &regressions {
+                eprintln!("  - {r}");
+            }
+            std::process::exit(1);
+        }
     }
 }

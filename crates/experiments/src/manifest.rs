@@ -12,6 +12,7 @@ use crate::context::ExperimentContext;
 use crate::runner::RunOutcome;
 use iq_reliability::Scheme;
 use serde::{Deserialize, Serialize};
+use sim_metrics::summary::MetricsSummary;
 use sim_trace::timing::{PhaseTimings, StageSeconds};
 use smt_sim::{FetchPolicyKind, MachineConfig};
 use std::io;
@@ -85,9 +86,12 @@ pub struct RunManifest {
     pub mix: String,
     /// Benchmarks of the mix, context order.
     pub benchmarks: Vec<String>,
-    /// Per-benchmark workload-generation seeds (FNV-1a of the name),
-    /// context order.
+    /// Per-benchmark workload-generation seeds (FNV-1a of the name,
+    /// mixed with the run's salt), context order.
     pub seeds: Vec<u64>,
+    /// Workload-generation salt (0 = the canonical seeded workload;
+    /// nonzero for cross-seed replicas).
+    pub salt: u64,
     pub scheme: String,
     pub fetch_policy: String,
     pub machine: MachineSummary,
@@ -98,6 +102,9 @@ pub struct RunManifest {
     /// stage profiling is opt-in because of its timer cost).
     pub stage_seconds: Option<StageSeconds>,
     pub metrics: FinalMetrics,
+    /// Digest of the run's sim-metrics registry (runs with metrics
+    /// recording enabled only).
+    pub sim_metrics: Option<MetricsSummary>,
 }
 
 impl RunManifest {
@@ -115,7 +122,7 @@ impl RunManifest {
             .iter()
             .map(|&name| {
                 workload_gen::model_by_name(name)
-                    .map(|m| m.seed())
+                    .map(|m| m.seed_with(outcome.salt))
                     .unwrap_or(0)
             })
             .collect();
@@ -125,6 +132,7 @@ impl RunManifest {
             mix: mix.name.clone(),
             benchmarks: mix.benchmarks.iter().map(|&b| b.to_string()).collect(),
             seeds,
+            salt: outcome.salt,
             scheme: scheme.label().to_string(),
             fetch_policy: format!("{fetch:?}"),
             machine: MachineSummary::from_config(&ctx.machine),
@@ -147,6 +155,7 @@ impl RunManifest {
                 dvm_avg_ratio: outcome.dvm_avg_ratio,
                 deadlocked: outcome.deadlocked,
             },
+            sim_metrics: outcome.sim_metrics.clone(),
         }
     }
 
@@ -204,6 +213,7 @@ mod tests {
             mix: "CPU-A".to_string(),
             benchmarks: vec!["gcc".to_string(), "gzip".to_string()],
             seeds: vec![123, 456],
+            salt: 0,
             scheme: "VISA+opt1".to_string(),
             fetch_policy: "Icount".to_string(),
             machine: MachineSummary {
@@ -248,6 +258,7 @@ mod tests {
                 dvm_avg_ratio: Some(1.5),
                 deadlocked: false,
             },
+            sim_metrics: None,
         }
     }
 
@@ -257,6 +268,23 @@ mod tests {
         let text = serde::json::to_string_pretty(&m);
         let back: RunManifest = serde::json::from_str(&text).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_with_metrics_digest_roundtrips() {
+        let mut m = sample();
+        m.salt = 3;
+        let reg = sim_metrics::Metrics::new();
+        reg.counter_add("dvm.triggers", 2);
+        reg.sample("iq.ready_len", 0, || 12.0);
+        reg.interval_rollover(0, 0, 10_000);
+        m.sim_metrics = Some(MetricsSummary::from_snapshot(&reg.snapshot()));
+        let text = serde::json::to_string(&m);
+        let back: RunManifest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        let digest = back.sim_metrics.unwrap();
+        assert_eq!(digest.counter("dvm.triggers"), Some(2));
+        assert_eq!(digest.series("iq.ready_len").unwrap().points, 1);
     }
 
     #[test]

@@ -4,6 +4,8 @@ use crate::context::ExperimentContext;
 use crate::manifest::{slug, RunManifest};
 use avf::{AvfCollector, AvfReport};
 use iq_reliability::Scheme;
+use sim_metrics::summary::MetricsSummary;
+use sim_metrics::Metrics;
 use sim_trace::chrome::ChromeTraceSink;
 use sim_trace::timing::{PhaseTimings, StageSeconds};
 use sim_trace::Tracer;
@@ -26,10 +28,15 @@ pub struct RunOutcome {
     /// Average adaptive wq_ratio (DVM runs only).
     pub dvm_avg_ratio: Option<f64>,
     pub deadlocked: bool,
+    /// Workload-generation salt (0 = canonical workload).
+    pub salt: u64,
     /// Host wall-clock cost of the run, by phase.
     pub timings: PhaseTimings,
     /// Per-pipeline-stage wall-clock breakdown (traced runs only).
     pub stage_seconds: Option<StageSeconds>,
+    /// Digest of the run's sim-metrics registry (metrics-enabled
+    /// contexts only).
+    pub sim_metrics: Option<MetricsSummary>,
 }
 
 /// Run one (mix, scheme, fetch policy) combination under the context's
@@ -43,13 +50,29 @@ pub fn run_scheme(
     scheme: Scheme,
     fetch: FetchPolicyKind,
 ) -> RunOutcome {
+    run_scheme_salted(ctx, mix, scheme, fetch, 0)
+}
+
+/// [`run_scheme`] with an explicit workload-generation salt: salt 0 is
+/// the canonical workload; other salts draw independent programs from
+/// the same benchmark models (cross-seed statistics, bench baselines).
+pub fn run_scheme_salted(
+    ctx: &ExperimentContext,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+    salt: u64,
+) -> RunOutcome {
     let mut timings = PhaseTimings::default();
     let run_id = ctx.next_run_id();
 
-    let programs = PhaseTimings::time(&mut timings.generate_s, || ctx.mix_programs(mix));
+    let programs = PhaseTimings::time(&mut timings.generate_s, || {
+        ctx.mix_programs_salted(mix, salt)
+    });
     let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
     let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
     attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
+    let metrics = attach_metrics(ctx, &mut pipeline);
 
     let start = PhaseTimings::time(&mut timings.warmup_s, || {
         pipeline.warm_up(ctx.params.warmup_insts)
@@ -62,6 +85,7 @@ pub fn run_scheme(
     let avf = PhaseTimings::time(&mut timings.collect_s, || collector.report());
     pipeline.tracer().flush();
     let stage_seconds = stage_snapshot(&pipeline);
+    let sim_metrics = export_metrics(ctx, metrics.as_ref(), run_id, mix, scheme);
 
     let outcome = RunOutcome {
         mix: mix.name.clone(),
@@ -76,8 +100,10 @@ pub fn run_scheme(
         governor_stall_cycles: result.stats.governor_stall_cycles,
         dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
         deadlocked: result.deadlocked,
+        salt,
         timings,
         stage_seconds,
+        sim_metrics,
     };
     ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
     outcome
@@ -100,6 +126,7 @@ pub fn run_stats_only(
     let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
     let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
     attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
+    let metrics = attach_metrics(ctx, &mut pipeline);
 
     PhaseTimings::time(&mut timings.warmup_s, || {
         pipeline.warm_up(ctx.params.warmup_insts)
@@ -112,6 +139,7 @@ pub fn run_stats_only(
     });
     pipeline.tracer().flush();
     let stage_seconds = stage_snapshot(&pipeline);
+    let sim_metrics = export_metrics(ctx, metrics.as_ref(), run_id, mix, scheme);
 
     let outcome = RunOutcome {
         mix: mix.name.clone(),
@@ -126,8 +154,10 @@ pub fn run_stats_only(
         governor_stall_cycles: result.stats.governor_stall_cycles,
         dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
         deadlocked: result.deadlocked,
+        salt: 0,
         timings,
         stage_seconds,
+        sim_metrics,
     };
     ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
     result
@@ -168,6 +198,52 @@ fn attach_tracing(
     ));
     pipeline.set_tracer(Tracer::new(ChromeTraceSink::new(path)));
     pipeline.set_stage_profiling(true);
+}
+
+/// When the context carries a metrics directory, attach a fresh
+/// sim-metrics registry to the pipeline (and through it, the governor).
+fn attach_metrics(ctx: &ExperimentContext, pipeline: &mut Pipeline) -> Option<Metrics> {
+    ctx.metrics_dir()?;
+    let metrics = Metrics::new();
+    pipeline.set_metrics(metrics.clone());
+    Some(metrics)
+}
+
+/// Export a finished run's registry (per-interval JSONL series +
+/// Prometheus text) into the context's metrics directory and digest it
+/// for the manifest.
+fn export_metrics(
+    ctx: &ExperimentContext,
+    metrics: Option<&Metrics>,
+    run_id: u64,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+) -> Option<MetricsSummary> {
+    let metrics = metrics?;
+    let snapshot = metrics.snapshot();
+    if let Some(dir) = ctx.metrics_dir() {
+        let base = format!(
+            "run{:04}_{}_{}",
+            run_id,
+            slug(&mix.name),
+            slug(scheme.label()),
+        );
+        let export = std::fs::create_dir_all(dir)
+            .and_then(|_| {
+                let mut f = std::fs::File::create(dir.join(format!("{base}.series.jsonl")))?;
+                sim_metrics::export::write_series_jsonl(&snapshot, &mut f)
+            })
+            .and_then(|_| {
+                std::fs::write(
+                    dir.join(format!("{base}.prom")),
+                    sim_metrics::export::render_prometheus(&snapshot),
+                )
+            });
+        if let Err(e) = export {
+            eprintln!("experiments: metrics export failed for {base}: {e}");
+        }
+    }
+    Some(MetricsSummary::from_snapshot(&snapshot))
 }
 
 #[cfg(test)]
@@ -211,6 +287,49 @@ mod tests {
         );
         assert!(!out.deadlocked);
         assert!(out.dvm_avg_ratio.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn metricized_run_exports_series_and_digest() {
+        let dir = std::env::temp_dir().join("smtsim_runner_metrics_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = ExperimentContext::new(ExperimentParams::fast()).with_metrics_dir(&dir);
+        let mix = workload_gen::mix_by_name("MEM-A").unwrap();
+        let out = run_scheme_salted(
+            &ctx,
+            &mix,
+            Scheme::DvmDynamic { target: 0.15 },
+            FetchPolicyKind::Icount,
+            1,
+        );
+        assert_eq!(out.salt, 1);
+        // The outcome and manifest both carry the registry digest, with
+        // one point per closed interval in each pipeline series.
+        let digest = out.sim_metrics.as_ref().expect("metrics recorded");
+        let intervals = digest.series("ipc").unwrap().points;
+        assert!(intervals >= 20, "fast budget closes ~25 intervals");
+        for series in ["iq.ready_len", "iq.ace_fraction", "iq.interval_avf"] {
+            assert_eq!(digest.series(series).unwrap().points, intervals);
+        }
+        assert!(digest.series("dvm.wq_ratio").is_some(), "governor gauge");
+        let manifests = ctx.drain_manifests();
+        assert_eq!(manifests[0].salt, 1);
+        assert_eq!(manifests[0].sim_metrics.as_ref(), Some(digest));
+        // Both export files landed next to each other.
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        names.sort();
+        assert_eq!(names.len(), 2, "{names:?}");
+        assert!(names[0].ends_with(".prom"));
+        assert!(names[1].ends_with(".series.jsonl"));
+        let jsonl = std::fs::read_to_string(dir.join(&names[1])).unwrap();
+        assert_eq!(jsonl.lines().count() as u64, intervals);
+        let prom = std::fs::read_to_string(dir.join(&names[0])).unwrap();
+        assert!(prom.contains("smtsim_dvm_wq_ratio"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

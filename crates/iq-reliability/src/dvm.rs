@@ -23,6 +23,7 @@
 
 use micro_isa::ThreadId;
 use parking_lot::Mutex;
+use sim_metrics::Metrics;
 use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 use std::sync::Arc;
@@ -89,6 +90,7 @@ pub struct DvmController {
     prev_cycles: u64,
     telemetry: DvmHandle,
     tracer: Tracer,
+    metrics: Metrics,
     /// Most recent windowed AVF estimate (audit context for the
     /// cycle-less `on_l2_miss` trigger path).
     last_est: f64,
@@ -139,6 +141,7 @@ impl DvmController {
             prev_cycles: 0,
             telemetry: Arc::new(Mutex::new(DvmTelemetry::default())),
             tracer: Tracer::off(),
+            metrics: Metrics::off(),
             last_est: 0.0,
             last_now: 0,
         }
@@ -187,6 +190,7 @@ impl DvmController {
         if est >= self.trigger_level() {
             if !was_active {
                 self.telemetry.lock().triggers += 1;
+                self.metrics.counter_add("dvm.triggers", 1);
             }
             self.response_active = true;
             self.restore_tid = None;
@@ -226,6 +230,7 @@ impl DvmController {
                     .min_by_key(|th| (th.fetch_queue_ace, th.tid))
                     .map(|th| th.tid);
                 self.telemetry.lock().restores += 1;
+                self.metrics.counter_add("dvm.restores", 1);
                 let restored = self.restore_tid;
                 self.tracer.emit(|| {
                     TraceEvent::Governor(GovernorEvent::DvmRestore {
@@ -252,7 +257,17 @@ impl DvmController {
                     ready_len: view.ready_len,
                 })
             });
+            self.metrics.counter_add("dvm.ratio_adjusts", 1);
         }
+        // Controller state as gauges: the pipeline's interval rollover
+        // snapshots these into the same-named time series, so the
+        // wq_ratio and trigger-state trajectories line up with the
+        // iq.interval_avf series they react to.
+        let (ratio, active) = (self.wq_ratio, self.response_active);
+        self.metrics.gauge_set("dvm.wq_ratio", || ratio);
+        self.metrics
+            .gauge_set("dvm.response_active", || if active { 1.0 } else { 0.0 });
+        self.metrics.gauge_set("dvm.avf_estimate", || est);
         let mut t = self.telemetry.lock();
         t.ratio_sum += self.wq_ratio;
         t.ratio_samples += 1;
@@ -323,6 +338,7 @@ impl DispatchGovernor for DvmController {
                 }
             }
             self.telemetry.lock().denied_dispatches += 1;
+            self.metrics.counter_add("dvm.denied_dispatches", 1);
             return false;
         }
         // Non-offending threads are throttled through the adaptive
@@ -332,6 +348,7 @@ impl DispatchGovernor for DvmController {
             true
         } else {
             self.telemetry.lock().denied_dispatches += 1;
+            self.metrics.counter_add("dvm.denied_dispatches", 1);
             false
         }
     }
@@ -345,11 +362,14 @@ impl DispatchGovernor for DvmController {
             let mut t = self.telemetry.lock();
             if !was_active {
                 t.triggers += 1;
+                self.metrics.counter_add("dvm.triggers", 1);
             }
             t.l2_triggers += 1;
         }
+        self.metrics.counter_add("dvm.l2_triggers", 1);
         self.response_active = true;
         self.restore_tid = None;
+        self.metrics.gauge_set("dvm.response_active", || 1.0);
         if !was_active {
             self.tracer.emit(|| {
                 TraceEvent::Governor(GovernorEvent::DvmTrigger {
@@ -367,6 +387,15 @@ impl DispatchGovernor for DvmController {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        // Seed the state gauges so the series start at the controller's
+        // initial configuration rather than first-change.
+        let (ratio, active) = (self.wq_ratio, self.response_active);
+        metrics.gauge_set("dvm.wq_ratio", || ratio);
+        metrics.gauge_set("dvm.response_active", || if active { 1.0 } else { 0.0 });
+        self.metrics = metrics;
     }
 }
 

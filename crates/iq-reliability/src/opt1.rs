@@ -18,6 +18,7 @@
 //! reproduce that comparison.
 
 use micro_isa::ThreadId;
+use sim_metrics::Metrics;
 use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 
@@ -103,6 +104,7 @@ pub struct DynamicIqAllocator {
     /// Current interval's allocation cap.
     iql: usize,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl DynamicIqAllocator {
@@ -111,6 +113,7 @@ impl DynamicIqAllocator {
             table,
             iql: iq_size, // uncapped until the first interval closes
             tracer: Tracer::off(),
+            metrics: Metrics::off(),
         }
     }
 
@@ -138,11 +141,22 @@ impl DynamicIqAllocator {
                     region: self.table.region_index(snap.ipc()),
                 })
             });
+            self.metrics.counter_add("opt1.cap_changes", 1);
         }
+        // Gauge reflects the cap governing the *next* interval; the
+        // pipeline's rollover snapshots it into the `opt1.iql_cap`
+        // series right after this hook returns.
+        let cap = self.iql;
+        self.metrics.gauge_set("opt1.iql_cap", || cap as f64);
     }
 
     pub(crate) fn set_tracer_inner(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    pub(crate) fn set_metrics_inner(&mut self, metrics: Metrics) {
+        metrics.gauge_set("opt1.iql_cap", || self.iql as f64);
+        self.metrics = metrics;
     }
 }
 
@@ -161,6 +175,10 @@ impl DispatchGovernor for DynamicIqAllocator {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.set_tracer_inner(tracer);
+    }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        self.set_metrics_inner(metrics);
     }
 }
 

@@ -17,6 +17,7 @@
 
 use crate::opt1::{DynamicIqAllocator, IplRegionTable};
 use micro_isa::ThreadId;
+use sim_metrics::Metrics;
 use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 
@@ -33,6 +34,7 @@ pub struct L2MissSensitiveAllocator {
     /// FLUSH mode.
     miss_budget: usize,
     tracer: Tracer,
+    metrics: Metrics,
 }
 
 impl L2MissSensitiveAllocator {
@@ -43,6 +45,7 @@ impl L2MissSensitiveAllocator {
             flush_mode: false,
             miss_budget: (iq_size / 12).max(1),
             tracer: Tracer::off(),
+            metrics: Metrics::off(),
         }
     }
 
@@ -84,7 +87,11 @@ impl DispatchGovernor for L2MissSensitiveAllocator {
                     threshold: self.tcache_miss,
                 })
             });
+            self.metrics.counter_add("opt2.mode_switches", 1);
         }
+        let mode = self.flush_mode;
+        self.metrics
+            .gauge_set("opt2.flush_mode", || if mode { 1.0 } else { 0.0 });
         self.opt1.update_from_interval(snapshot, view.iq_size);
     }
 
@@ -113,6 +120,13 @@ impl DispatchGovernor for L2MissSensitiveAllocator {
     fn set_tracer(&mut self, tracer: Tracer) {
         self.opt1.set_tracer_inner(tracer.clone());
         self.tracer = tracer;
+    }
+
+    fn set_metrics(&mut self, metrics: Metrics) {
+        self.opt1.set_metrics_inner(metrics.clone());
+        let mode = self.flush_mode;
+        metrics.gauge_set("opt2.flush_mode", || if mode { 1.0 } else { 0.0 });
+        self.metrics = metrics;
     }
 }
 

@@ -1,0 +1,173 @@
+//! One source of truth, two views: governor control decisions must
+//! appear identically in the sim-trace audit log (events) and the
+//! sim-metrics registry (gauges/counters). These tests drive the DVM
+//! and opt1 governors through synthetic machine states with both
+//! observability layers attached and cross-check them.
+
+use iq_reliability::{DvmController, DvmMode, DynamicIqAllocator};
+use sim_metrics::Metrics;
+use sim_trace::sinks::RingSink;
+use sim_trace::{GovernorEvent, TraceEvent, Tracer};
+use smt_sim::dispatch::{DispatchGovernor, GovernorView, ThreadView};
+use smt_sim::IntervalSnapshot;
+
+fn thread_view(tid: u8, fq_ace: usize) -> ThreadView {
+    ThreadView {
+        tid,
+        fetch_queue_len: fq_ace + 2,
+        fetch_queue_ace: fq_ace,
+        l2_pending: 0,
+        l1d_pending: 0,
+        flush_blocked: false,
+        in_flight: 0,
+        iq_occupancy: 0,
+        rob_ace: 0,
+    }
+}
+
+/// A view whose online AVF estimate evaluates to `est`.
+fn view_with<'a>(
+    now: u64,
+    est: f64,
+    last: &'a IntervalSnapshot,
+    threads: &'a [ThreadView],
+) -> GovernorView<'a> {
+    let total_bits = 96u64 * smt_sim::layout::IQ_ENTRY_BITS as u64;
+    let cycles = 1_000u64;
+    GovernorView {
+        now,
+        iq_size: 96,
+        iq_len: 40,
+        ready_len: 10,
+        waiting_len: 30,
+        last_interval: last,
+        interval_hint_bits: (est * (cycles * total_bits) as f64) as u64,
+        interval_cycles: cycles,
+        threads,
+    }
+}
+
+#[test]
+fn dvm_trigger_and_restore_agree_across_trace_and_metrics() {
+    let mut dvm = DvmController::new(0.4, DvmMode::DynamicRatio);
+    let sink = RingSink::new(256);
+    let ring = sink.handle();
+    dvm.set_tracer(Tracer::new(sink));
+    let metrics = Metrics::new();
+    dvm.set_metrics(metrics.clone());
+
+    // Initial state gauges are seeded at attach time.
+    let snap0 = metrics.snapshot();
+    assert_eq!(snap0.gauge("dvm.response_active"), Some(0.0));
+    let initial_ratio = snap0.gauge("dvm.wq_ratio").unwrap();
+
+    let last = IntervalSnapshot::default();
+    let threads = [thread_view(0, 9), thread_view(1, 2)];
+    // Hot sample (est 0.9 ≥ 0.36 trigger level) → trigger; then two cool
+    // samples → one restore.
+    dvm.begin_cycle(&view_with(2_000, 0.9, &last, &threads));
+    dvm.begin_cycle(&view_with(4_000, 0.0, &last, &threads));
+    dvm.begin_cycle(&view_with(6_000, 0.0, &last, &threads));
+
+    let snap = metrics.snapshot();
+    let trigger_events = ring.of_kind("dvm_trigger");
+    let restore_events = ring.of_kind("dvm_restore");
+    assert_eq!(trigger_events.len(), 1);
+    assert_eq!(restore_events.len(), 1);
+    assert_eq!(snap.counter("dvm.triggers"), Some(1));
+    assert_eq!(snap.counter("dvm.restores"), Some(1));
+    // Ratio gauge tracks the adaptive state and every adjustment is
+    // audited.
+    let ratio_now = snap.gauge("dvm.wq_ratio").unwrap();
+    assert_ne!(ratio_now, initial_ratio);
+    assert_eq!(
+        snap.counter("dvm.ratio_adjusts").unwrap(),
+        ring.of_kind("wq_ratio").len() as u64
+    );
+    // After the final cool sample the response is off in both views.
+    assert_eq!(snap.gauge("dvm.response_active"), Some(0.0));
+    match restore_events[0] {
+        TraceEvent::Governor(GovernorEvent::DvmRestore { restored_tid, .. }) => {
+            // Restore rule: fewest fetch-queue ACE instructions → tid 1.
+            assert_eq!(restored_tid, Some(1));
+        }
+        ref e => panic!("unexpected event {e:?}"),
+    }
+}
+
+#[test]
+fn dvm_l2_trigger_agrees_across_views() {
+    let mut dvm = DvmController::new(0.4, DvmMode::DynamicRatio);
+    let sink = RingSink::new(64);
+    let ring = sink.handle();
+    dvm.set_tracer(Tracer::new(sink));
+    let metrics = Metrics::new();
+    dvm.set_metrics(metrics.clone());
+
+    dvm.on_l2_miss(2);
+    dvm.on_l2_miss(2); // already active: no second trigger event
+
+    let snap = metrics.snapshot();
+    assert_eq!(ring.of_kind("dvm_trigger").len(), 1);
+    assert_eq!(snap.counter("dvm.triggers"), Some(1));
+    assert_eq!(snap.counter("dvm.l2_triggers"), Some(2));
+    assert_eq!(snap.gauge("dvm.response_active"), Some(1.0));
+}
+
+#[test]
+fn opt1_cap_moves_agree_across_views() {
+    let mut opt1 = DynamicIqAllocator::figure3(96);
+    let sink = RingSink::new(64);
+    let ring = sink.handle();
+    opt1.set_tracer(Tracer::new(sink));
+    let metrics = Metrics::new();
+    opt1.set_metrics(metrics.clone());
+
+    // Gauge seeded with the uncapped initial state.
+    assert_eq!(metrics.snapshot().gauge("opt1.iql_cap"), Some(96.0));
+
+    let threads: [ThreadView; 0] = [];
+    // Low-IPC interval: cap becomes min(5 + 16, 32) = 21.
+    let low = IntervalSnapshot {
+        cycles: 10_000,
+        committed: 10_000,
+        avg_ready_len: 5.0,
+        ..Default::default()
+    };
+    opt1.on_interval(&low, &view_with(10_000, 0.0, &low, &threads));
+    // Same interval again: no change, no event.
+    opt1.on_interval(&low, &view_with(20_000, 0.0, &low, &threads));
+    // High-IPC interval: cap opens up to min(40 + 64, 96) = 96.
+    let high = IntervalSnapshot {
+        cycles: 10_000,
+        committed: 70_000,
+        avg_ready_len: 40.0,
+        ..Default::default()
+    };
+    opt1.on_interval(&high, &view_with(30_000, 0.0, &high, &threads));
+
+    let snap = metrics.snapshot();
+    let cap_events = ring.of_kind("opt1_cap");
+    assert_eq!(cap_events.len(), 2);
+    assert_eq!(snap.counter("opt1.cap_changes"), Some(2));
+    assert_eq!(snap.gauge("opt1.iql_cap"), Some(96.0));
+    // The audit events carry the same trajectory the gauge followed.
+    match (&cap_events[0], &cap_events[1]) {
+        (
+            TraceEvent::Governor(GovernorEvent::Opt1CapChange {
+                old_cap: o1,
+                new_cap: n1,
+                ..
+            }),
+            TraceEvent::Governor(GovernorEvent::Opt1CapChange {
+                old_cap: o2,
+                new_cap: n2,
+                ..
+            }),
+        ) => {
+            assert_eq!((*o1, *n1), (96, 21));
+            assert_eq!((*o2, *n2), (21, 96));
+        }
+        other => panic!("unexpected events {other:?}"),
+    }
+}

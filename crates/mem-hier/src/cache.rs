@@ -54,6 +54,15 @@ impl CacheStats {
             self.misses as f64 / self.accesses as f64
         }
     }
+
+    /// Counters accumulated since an `earlier` reading of the same
+    /// cache — the windowed view per-interval metrics sample.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses.saturating_sub(earlier.accesses),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -72,6 +72,21 @@ pub struct HierarchyStats {
     pub dtlb: CacheStats,
 }
 
+impl HierarchyStats {
+    /// Counters accumulated since an `earlier` reading — used by the
+    /// pipeline to turn the monotonic hierarchy counters into
+    /// per-sampling-interval miss-rate series.
+    pub fn since(&self, earlier: &HierarchyStats) -> HierarchyStats {
+        HierarchyStats {
+            l1i: self.l1i.since(&earlier.l1i),
+            l1d: self.l1d.since(&earlier.l1d),
+            l2: self.l2.since(&earlier.l2),
+            itlb: self.itlb.since(&earlier.itlb),
+            dtlb: self.dtlb.since(&earlier.dtlb),
+        }
+    }
+}
+
 /// The shared cache hierarchy of one SMT processor.
 pub struct MemoryHierarchy {
     config: HierarchyConfig,

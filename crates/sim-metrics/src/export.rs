@@ -1,0 +1,197 @@
+//! Exporters for a frozen [`MetricsSnapshot`].
+//!
+//! * [`write_series_jsonl`] — one JSON object per sampling interval,
+//!   carrying every series value recorded for that interval. Stream-
+//!   friendly: plotting scripts read it line by line, and partial files
+//!   (from an aborted run) stay parseable up to the break.
+//! * [`render_prometheus`] — Prometheus text exposition format
+//!   (`# TYPE` comments, `_count`/`_sum`/`_bucket{le=...}` histogram
+//!   expansion), so standard scrape tooling can chart a run's final
+//!   state without a bespoke parser.
+
+use crate::{MetricsSnapshot, SeriesPoint};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// One JSONL row: a closed interval and every series point recorded
+/// at that interval index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesRow {
+    pub interval: u64,
+    pub start_cycle: u64,
+    pub cycles: u64,
+    /// `(series_name, value)` pairs, sorted by name.
+    pub values: Vec<(String, f64)>,
+}
+
+/// Group a snapshot's series by interval index into JSONL rows.
+pub fn series_rows(snapshot: &MetricsSnapshot) -> Vec<SeriesRow> {
+    let mut rows: Vec<SeriesRow> = snapshot
+        .intervals
+        .iter()
+        .map(|meta| SeriesRow {
+            interval: meta.index,
+            start_cycle: meta.start_cycle,
+            cycles: meta.cycles,
+            values: Vec::new(),
+        })
+        .collect();
+    for (name, points) in &snapshot.series {
+        for SeriesPoint { interval, value } in points {
+            if let Some(row) = rows.iter_mut().find(|r| r.interval == *interval) {
+                row.values.push((name.clone(), *value));
+            }
+        }
+    }
+    // Series iteration is name-sorted (BTreeMap order preserved into the
+    // snapshot), so values within a row are already sorted by name.
+    rows
+}
+
+/// Write the per-interval time series as JSONL, one row per interval.
+pub fn write_series_jsonl(snapshot: &MetricsSnapshot, out: &mut dyn Write) -> io::Result<()> {
+    for row in series_rows(snapshot) {
+        out.write_all(serde::json::to_string(&row).as_bytes())?;
+        out.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Sanitize a dotted metric name into a Prometheus identifier.
+fn prom_name(name: &str) -> String {
+    let mut s = String::with_capacity(name.len() + 7);
+    s.push_str("smtsim_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            s.push(c);
+        } else {
+            s.push('_');
+        }
+    }
+    s
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the snapshot's final state in Prometheus text exposition
+/// format. Series are represented by their last value (a gauge) — the
+/// full trajectory lives in the JSONL export.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+    }
+    for (name, value) in &snapshot.gauges {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {}\n", fmt_f64(*value)));
+    }
+    for (name, points) in &snapshot.series {
+        // Gauges were already emitted above under the same name.
+        if snapshot.gauge(name).is_some() {
+            continue;
+        }
+        if let Some(last) = points.last() {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} gauge\n{p} {}\n", fmt_f64(last.value)));
+        }
+    }
+    for (name, h) in &snapshot.histograms {
+        let p = prom_name(name);
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, bound) in h.bounds.iter().enumerate() {
+            cumulative += h.counts[i];
+            out.push_str(&format!(
+                "{p}_bucket{{le=\"{}\"}} {cumulative}\n",
+                fmt_f64(*bound)
+            ));
+        }
+        out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+        out.push_str(&format!("{p}_sum {}\n", fmt_f64(h.sum)));
+        out.push_str(&format!("{p}_count {}\n", h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let m = Metrics::new();
+        m.counter_add("dvm.triggers", 3);
+        m.gauge_set("dvm.wq_ratio", || 4.0);
+        m.sample("iq.ready_len", 0, || 11.0);
+        m.interval_rollover(0, 0, 10_000);
+        m.gauge_set("dvm.wq_ratio", || 2.0);
+        m.sample("iq.ready_len", 1, || 9.0);
+        m.interval_rollover(1, 10_000, 10_000);
+        m.observe("interval.ipc", || 1.5);
+        m.observe("interval.ipc", || 3.0);
+        m.snapshot()
+    }
+
+    #[test]
+    fn jsonl_rows_group_by_interval() {
+        let rows = series_rows(&sample_snapshot());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].interval, 0);
+        assert_eq!(
+            rows[0].values,
+            vec![
+                ("dvm.wq_ratio".to_string(), 4.0),
+                ("iq.ready_len".to_string(), 11.0)
+            ]
+        );
+        assert_eq!(rows[1].start_cycle, 10_000);
+        assert_eq!(rows[1].values[0], ("dvm.wq_ratio".to_string(), 2.0));
+    }
+
+    #[test]
+    fn jsonl_lines_roundtrip() {
+        let mut buf = Vec::new();
+        write_series_jsonl(&sample_snapshot(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let row: SeriesRow = serde::json::from_str(line).unwrap();
+            assert_eq!(row.cycles, 10_000);
+            assert!(!row.values.is_empty());
+        }
+    }
+
+    #[test]
+    fn prometheus_text_has_all_instrument_kinds() {
+        let text = render_prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE smtsim_dvm_triggers counter"));
+        assert!(text.contains("smtsim_dvm_triggers 3"));
+        assert!(text.contains("# TYPE smtsim_dvm_wq_ratio gauge"));
+        assert!(text.contains("smtsim_dvm_wq_ratio 2\n"));
+        // Series without a gauge: last value exported.
+        assert!(text.contains("smtsim_iq_ready_len 9"));
+        // Histogram expansion with cumulative buckets.
+        assert!(text.contains("smtsim_interval_ipc_bucket{le=\"2\"} 1"));
+        assert!(text.contains("smtsim_interval_ipc_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("smtsim_interval_ipc_count 2"));
+        // Gauge-backed series are not emitted twice.
+        assert_eq!(text.matches("# TYPE smtsim_dvm_wq_ratio gauge").count(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_exports_cleanly() {
+        let snap = MetricsSnapshot::default();
+        let mut buf = Vec::new();
+        write_series_jsonl(&snap, &mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert!(render_prometheus(&snap).is_empty());
+    }
+}

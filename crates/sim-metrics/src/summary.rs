@@ -1,0 +1,116 @@
+//! Compact per-run metrics digest for run manifests.
+//!
+//! A full [`MetricsSnapshot`] can hold hundreds of series points; run
+//! manifests want a skimmable digest instead. [`MetricsSummary`]
+//! carries every counter and final gauge verbatim but reduces each
+//! time series to its point count, mean, min/max and last value —
+//! enough to spot a misbehaving run in a manifest diff without opening
+//! the JSONL export.
+
+use crate::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// Digest of one per-interval time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSummary {
+    pub name: String,
+    pub points: u64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub last: f64,
+}
+
+/// Digest of a whole registry, merged into run manifests.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSummary {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub series: Vec<SeriesSummary>,
+}
+
+impl MetricsSummary {
+    pub fn from_snapshot(snapshot: &MetricsSnapshot) -> MetricsSummary {
+        let series = snapshot
+            .series
+            .iter()
+            .filter(|(_, pts)| !pts.is_empty())
+            .map(|(name, pts)| {
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                let mut sum = 0.0;
+                for p in pts {
+                    min = min.min(p.value);
+                    max = max.max(p.value);
+                    sum += p.value;
+                }
+                SeriesSummary {
+                    name: name.clone(),
+                    points: pts.len() as u64,
+                    mean: sum / pts.len() as f64,
+                    min,
+                    max,
+                    last: pts.last().expect("non-empty").value,
+                }
+            })
+            .collect();
+        MetricsSummary {
+            counters: snapshot.counters.clone(),
+            gauges: snapshot.gauges.clone(),
+            series,
+        }
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    pub fn series(&self, name: &str) -> Option<&SeriesSummary> {
+        self.series.iter().find(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    #[test]
+    fn summary_digests_series() {
+        let m = Metrics::new();
+        m.counter_add("opt1.cap_changes", 4);
+        for (i, v) in [10.0, 20.0, 6.0].iter().enumerate() {
+            m.sample("iq.ready_len", i as u64, || *v);
+            m.interval_rollover(i as u64, i as u64 * 10_000, 10_000);
+        }
+        let sum = MetricsSummary::from_snapshot(&m.snapshot());
+        assert_eq!(sum.counter("opt1.cap_changes"), Some(4));
+        let s = sum.series("iq.ready_len").unwrap();
+        assert_eq!(s.points, 3);
+        assert_eq!(s.min, 6.0);
+        assert_eq!(s.max, 20.0);
+        assert_eq!(s.last, 6.0);
+        assert!((s.mean - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let m = Metrics::new();
+        m.gauge_set("dvm.wq_ratio", || 1.5);
+        m.sample("iq.interval_avf", 0, || 0.25);
+        m.interval_rollover(0, 0, 10_000);
+        let sum = MetricsSummary::from_snapshot(&m.snapshot());
+        let text = serde::json::to_string(&sum);
+        let back: MetricsSummary = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, sum);
+    }
+
+    #[test]
+    fn empty_snapshot_gives_empty_summary() {
+        let sum = MetricsSummary::from_snapshot(&MetricsSnapshot::default());
+        assert_eq!(sum, MetricsSummary::default());
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-seed aggregation: mean, stddev and 95 % confidence intervals
+//! over N independently-seeded runs of one exhibit.
+//!
+//! A single seeded run of the synthetic workload generator is one draw
+//! from the benchmark model's distribution; any conclusion drawn from
+//! it ("MEM mixes run 1.4× slower") is hostage to that draw. The
+//! campaign report and the regression baseline therefore aggregate over
+//! several seeds and report `mean ± CI95`, with the half-width from the
+//! two-sided Student-t quantile at the run count's degrees of freedom —
+//! the small-sample correction matters because bench runs use n = 3–10,
+//! far from the z ≈ 1.96 asymptote.
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 97.5 % Student-t quantiles for df = 1..=30 (CI95
+/// half-width multiplier `t * s / sqrt(n)`); the z quantile beyond.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+fn t_quantile_975(df: usize) -> f64 {
+    if df == 0 {
+        f64::INFINITY
+    } else if df <= T_975.len() {
+        T_975[df - 1]
+    } else {
+        1.96
+    }
+}
+
+/// Mean/stddev/CI95 digest of one metric over N seeded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SeedSummary {
+    /// Number of seeded runs aggregated.
+    pub n: u64,
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator); 0 for n < 2.
+    pub stddev: f64,
+    /// Half-width of the 95 % confidence interval on the mean
+    /// (Student-t); 0 for n < 2.
+    pub ci95: f64,
+}
+
+impl SeedSummary {
+    pub fn from_samples(samples: &[f64]) -> SeedSummary {
+        let n = samples.len();
+        if n == 0 {
+            return SeedSummary::default();
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return SeedSummary {
+                n: 1,
+                mean,
+                stddev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        let stddev = var.sqrt();
+        let ci95 = t_quantile_975(n - 1) * stddev / (n as f64).sqrt();
+        SeedSummary {
+            n: n as u64,
+            mean,
+            stddev,
+            ci95,
+        }
+    }
+
+    /// `mean ± ci95` with the given precision, for report tables.
+    pub fn display(&self, precision: usize) -> String {
+        if self.n <= 1 {
+            format!("{:.*}", precision, self.mean)
+        } else {
+            format!("{:.*} ±{:.*}", precision, self.mean, precision, self.ci95)
+        }
+    }
+}
+
+/// Median of a sample set (midpoint of the two central order statistics
+/// for even n). Robust location estimate for noisy ratio assertions.
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in samples"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(SeedSummary::from_samples(&[]), SeedSummary::default());
+        let s = SeedSummary::from_samples(&[2.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.ci95, 0.0);
+        assert_eq!(s.display(2), "2.50");
+    }
+
+    #[test]
+    fn known_small_sample() {
+        // n=5, mean 3, variance 2.5, stddev ~1.5811.
+        let s = SeedSummary::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.stddev - 2.5f64.sqrt()).abs() < 1e-9);
+        // t(df=4) = 2.776: CI95 = 2.776 * 1.5811 / sqrt(5) ≈ 1.963.
+        assert!((s.ci95 - 2.776 * 2.5f64.sqrt() / 5f64.sqrt()).abs() < 1e-9);
+        assert!(s.display(2).starts_with("3.00 ±1.96"));
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width() {
+        let s = SeedSummary::from_samples(&[7.0; 8]);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn t_quantile_shrinks_with_df() {
+        assert!(t_quantile_975(1) > t_quantile_975(4));
+        assert!(t_quantile_975(4) > t_quantile_975(29));
+        assert_eq!(t_quantile_975(100), 1.96);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[9.0]), 9.0);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_json() {
+        let s = SeedSummary::from_samples(&[1.0, 2.0, 4.0]);
+        let back: SeedSummary = serde::json::from_str(&serde::json::to_string(&s)).unwrap();
+        assert_eq!(back, s);
+    }
+}

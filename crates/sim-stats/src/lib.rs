@@ -11,13 +11,18 @@
 //!   Section 5.2;
 //! * [`metrics`] — throughput IPC and the fairness-aware harmonic IPC of
 //!   Luo et al. that the paper reports in Figures 8–9;
+//! * [`aggregate`] — cross-seed statistics (mean/stddev/95 % CI over N
+//!   seeded runs, plus a robust median) for campaign reports and the
+//!   regression baseline;
 //! * [`table`] — fixed-width text and CSV rendering for experiment output.
 
+pub mod aggregate;
 pub mod histogram;
 pub mod interval;
 pub mod metrics;
 pub mod table;
 
+pub use aggregate::{median, SeedSummary};
 pub use histogram::{CompanionHistogram, Histogram};
 pub use interval::IntervalSeries;
 pub use metrics::{geometric_mean, harmonic_ipc, mean, throughput_ipc};

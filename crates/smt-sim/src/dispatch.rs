@@ -107,6 +107,15 @@ pub trait DispatchGovernor {
     ///
     /// [`Pipeline::set_tracer`]: crate::pipeline::Pipeline::set_tracer
     fn set_tracer(&mut self, _tracer: sim_trace::Tracer) {}
+
+    /// Hand the governor a metrics handle so its control state (IQL cap,
+    /// flush mode, wq_ratio, trigger/restore counts) is recorded as
+    /// gauges and counters alongside the trace audit log. The pipeline
+    /// calls this from [`Pipeline::set_metrics`]; governors with no
+    /// numeric state ignore it.
+    ///
+    /// [`Pipeline::set_metrics`]: crate::pipeline::Pipeline::set_metrics
+    fn set_metrics(&mut self, _metrics: sim_metrics::Metrics) {}
 }
 
 /// Baseline: dispatch everything the structural resources allow.

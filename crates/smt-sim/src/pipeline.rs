@@ -47,6 +47,7 @@ use crate::types::{InstId, InstInfo, InstSlab, InstStage};
 use branch_pred::BranchPredictor;
 use mem_hier::MemoryHierarchy;
 use micro_isa::{BranchKind, DynInst, OpClass, Pc, ThreadId};
+use sim_metrics::Metrics;
 use sim_trace::timing::{Stage, StageProfile};
 use sim_trace::{FlushReason, TraceEvent, Tracer};
 use std::cmp::Reverse;
@@ -132,8 +133,13 @@ pub struct Pipeline {
     iv_committed: u64,
     iv_l2_misses: u64,
     iv_ready_sum: u64,
+    iv_ready_ace_sum: u64,
     iv_iq_sum: u64,
     iv_hint_bits: u64,
+    /// Memory-hierarchy counter reading at the open interval's start,
+    /// so rollover can sample windowed miss rates from the monotonic
+    /// totals.
+    iv_mem_base: mem_hier::HierarchyStats,
     last_interval: IntervalSnapshot,
     last_commit_cycle: u64,
     /// Cycle at which measurement started (post-warmup).
@@ -145,6 +151,9 @@ pub struct Pipeline {
     /// Structured event tracer; `Tracer::off()` (the default) makes
     /// every emission site a single branch on a `None`.
     tracer: Tracer,
+    /// Quantitative metrics registry handle; `Metrics::off()` (the
+    /// default) reduces every recording site to one branch.
+    metrics: Metrics,
     /// Opt-in per-stage wall-clock self-profiling.
     profile: StageProfile,
     /// Zero-based index of the next sampling interval to close (reset by
@@ -205,14 +214,17 @@ impl Pipeline {
             iv_committed: 0,
             iv_l2_misses: 0,
             iv_ready_sum: 0,
+            iv_ready_ace_sum: 0,
             iv_iq_sum: 0,
             iv_hint_bits: 0,
+            iv_mem_base: mem_hier::HierarchyStats::default(),
             last_interval: IntervalSnapshot::default(),
             last_commit_cycle: 0,
             measure_start: 0,
             cur_ready_len: 0,
             cur_waiting_len: 0,
             tracer: Tracer::off(),
+            metrics: Metrics::off(),
             profile: StageProfile::new(false),
             interval_index: 0,
             config,
@@ -237,6 +249,19 @@ impl Pipeline {
 
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attach a metrics registry handle. The same handle is forwarded to
+    /// the dispatch governor so its control state (caps, modes, ratios)
+    /// is recorded alongside the pipeline's IQ/AVF/memory series — all
+    /// on the sampling-interval clock the governor decisions key on.
+    pub fn set_metrics(&mut self, metrics: Metrics) {
+        self.policies.governor.set_metrics(metrics.clone());
+        self.metrics = metrics;
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// Enable/disable per-stage wall-clock self-profiling (off by
@@ -305,9 +330,15 @@ impl Pipeline {
         self.iv_committed = 0;
         self.iv_l2_misses = 0;
         self.iv_ready_sum = 0;
+        self.iv_ready_ace_sum = 0;
         self.iv_iq_sum = 0;
         self.iv_hint_bits = 0;
+        self.iv_mem_base = self.mem.stats();
         self.interval_index = 0;
+        // Interval indices restart here; drop warmup-phase metric
+        // accumulation so exported series cover the measured window only
+        // (gauges persist — they are the governors' live state).
+        self.metrics.reset_accumulated();
         self.last_commit_cycle = self.now;
         self.now
     }
@@ -759,6 +790,7 @@ impl Pipeline {
             .record(rql, ace_ready as f64, rql as f64);
         self.stats.ready_len_sum += rql as u64;
         self.iv_ready_sum += rql as u64;
+        self.iv_ready_ace_sum += ace_ready as u64;
 
         self.policies.issue.prioritize(&mut ready);
 
@@ -1214,6 +1246,7 @@ impl Pipeline {
                 committed: self.iv_committed,
                 l2_misses: self.iv_l2_misses,
                 avg_ready_len: self.iv_ready_sum as f64 / cycles as f64,
+                avg_ready_ace_len: self.iv_ready_ace_sum as f64 / cycles as f64,
                 avg_iq_len: self.iv_iq_sum as f64 / cycles as f64,
                 hint_avf: self.iv_hint_bits as f64 / (cycles * total_bits) as f64,
             };
@@ -1230,6 +1263,34 @@ impl Pipeline {
                 avg_iq_len: snapshot.avg_iq_len,
                 l2_misses: snapshot.l2_misses,
             });
+            if self.metrics.is_on() {
+                // Core IQ/AVF/throughput series on the interval clock.
+                self.metrics.sample("ipc", index, || snapshot.ipc());
+                self.metrics
+                    .sample("iq.ready_len", index, || snapshot.avg_ready_len);
+                self.metrics
+                    .sample("iq.ace_fraction", index, || snapshot.ready_ace_fraction());
+                self.metrics
+                    .sample("iq.interval_avf", index, || snapshot.hint_avf);
+                self.metrics
+                    .sample("iq.occupancy", index, || snapshot.avg_iq_len);
+                self.metrics
+                    .sample("mem.l2_misses", index, || snapshot.l2_misses as f64);
+                // Windowed hierarchy miss rates (monotonic counters
+                // diffed against the interval-start reading).
+                let mem_now = self.mem.stats();
+                let window = mem_now.since(&self.iv_mem_base);
+                self.metrics
+                    .sample("mem.l1d_miss_rate", index, || window.l1d.miss_rate());
+                self.metrics
+                    .sample("mem.l2_miss_rate", index, || window.l2.miss_rate());
+                self.iv_mem_base = mem_now;
+                self.metrics.observe("interval.ipc", || snapshot.ipc());
+                // Close the interval: gauge-backed governor series
+                // (wq_ratio, IQL cap, flush mode) extend here too.
+                self.metrics
+                    .interval_rollover(index, snapshot.start_cycle, cycles);
+            }
             {
                 let views = self.thread_views();
                 let view = GovernorView {
@@ -1250,6 +1311,7 @@ impl Pipeline {
             self.iv_committed = 0;
             self.iv_l2_misses = 0;
             self.iv_ready_sum = 0;
+            self.iv_ready_ace_sum = 0;
             self.iv_iq_sum = 0;
             self.iv_hint_bits = 0;
         }
@@ -1325,12 +1387,16 @@ fn branch_kind(op: OpClass) -> BranchKind {
 mod tests {
     use super::*;
     use crate::events::NullObserver;
-    use workload_gen::{generate_program, model_by_name};
+    use workload_gen::{generate_program, generate_program_salted, model_by_name};
 
     fn mini_pipeline(names: [&str; 4]) -> Pipeline {
+        mini_pipeline_salted(names, 0)
+    }
+
+    fn mini_pipeline_salted(names: [&str; 4], salt: u64) -> Pipeline {
         let programs = names
             .iter()
-            .map(|n| Arc::new(generate_program(&model_by_name(n).unwrap())))
+            .map(|n| Arc::new(generate_program_salted(&model_by_name(n).unwrap(), salt)))
             .collect();
         Pipeline::new(
             MachineConfig::table2(),
@@ -1360,31 +1426,39 @@ mod tests {
 
     #[test]
     fn mem_mix_runs_slower_than_cpu_mix() {
-        // Warm both machines first: cold compulsory misses dominate short
-        // unwarmed runs and mask the class difference.
-        let mut cpu = mini_pipeline(["bzip2", "eon", "gcc", "perlbmk"]);
-        let mut mem = mini_pipeline(["mcf", "equake", "vpr", "swim"]);
-        cpu.warm_up(400_000);
-        mem.warm_up(400_000);
-        let rc = run_insts(&mut cpu, 30_000);
-        let rm = run_insts(&mut mem, 30_000);
-        assert!(!rc.deadlocked && !rm.deadlocked);
+        // A single seeded draw from the workload generator is one sample;
+        // asserting a 1.4x margin on it is hostage to that draw (the
+        // vendored stand-in RNG narrows the MEM/CPU L2-miss gap to ~1.6x
+        // vs the original generator's ~2.5x — see EXPERIMENTS.md). So
+        // assert on the *median* over 5 independent seeds: the class
+        // separation must hold for the typical draw, and IPC ordering
+        // for the majority.
+        let mut miss_ratios = Vec::new();
+        let mut ipc_ordered = 0usize;
+        for salt in 0..5u64 {
+            // Warm both machines first: cold compulsory misses dominate
+            // short unwarmed runs and mask the class difference.
+            let mut cpu = mini_pipeline_salted(["bzip2", "eon", "gcc", "perlbmk"], salt);
+            let mut mem = mini_pipeline_salted(["mcf", "equake", "vpr", "swim"], salt);
+            cpu.warm_up(250_000);
+            mem.warm_up(250_000);
+            let rc = run_insts(&mut cpu, 30_000);
+            let rm = run_insts(&mut mem, 30_000);
+            assert!(!rc.deadlocked && !rm.deadlocked, "salt {salt} deadlocked");
+            let rate = |r: &SimResult| r.stats.l2_misses as f64 / r.stats.cycles.max(1) as f64;
+            miss_ratios.push(rate(&rm) / rate(&rc).max(1e-12));
+            if rm.stats.throughput_ipc() < rc.stats.throughput_ipc() {
+                ipc_ordered += 1;
+            }
+        }
+        let median_ratio = sim_stats::median(&miss_ratios);
         assert!(
-            rm.stats.throughput_ipc() < rc.stats.throughput_ipc(),
-            "MEM {} !< CPU {}",
-            rm.stats.throughput_ipc(),
-            rc.stats.throughput_ipc()
+            median_ratio > 1.4,
+            "median MEM/CPU L2-miss-rate ratio {median_ratio:.3} !> 1.4 (per-seed: {miss_ratios:?})"
         );
-        // Normalize per cycle: the MEM mix must miss the L2 clearly more
-        // often than the CPU mix once warmed. The offline stand-in RNG
-        // yields a narrower gap than the original generator (~1.6x vs
-        // ~2.5x), so assert the class separation at 1.4x.
-        let rate = |r: &SimResult| r.stats.l2_misses as f64 / r.stats.cycles.max(1) as f64;
         assert!(
-            rate(&rm) > rate(&rc) * 1.4,
-            "MEM miss rate {:.5} !> 1.4x CPU {:.5}",
-            rate(&rm),
-            rate(&rc)
+            ipc_ordered >= 3,
+            "MEM IPC < CPU IPC held on only {ipc_ordered}/5 seeds"
         );
     }
 
@@ -1483,7 +1557,77 @@ mod tests {
         for (i, iv) in r.stats.intervals.iter().enumerate() {
             assert_eq!(iv.cycles, DEFAULT_INTERVAL_CYCLES, "interval {i}");
             assert!(iv.hint_avf >= 0.0 && iv.hint_avf <= 1.0);
+            assert!(iv.avg_ready_ace_len <= iv.avg_ready_len);
         }
+    }
+
+    #[test]
+    fn metrics_registry_samples_every_interval() {
+        let mut p = mini_pipeline(["bzip2", "eon", "gcc", "perlbmk"]);
+        let metrics = Metrics::new();
+        p.set_metrics(metrics.clone());
+        let r = run_insts(&mut p, 60_000);
+        let n = r.stats.intervals.len();
+        assert!(n > 0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.intervals.len(), n);
+        for name in [
+            "ipc",
+            "iq.ready_len",
+            "iq.ace_fraction",
+            "iq.interval_avf",
+            "iq.occupancy",
+            "mem.l2_misses",
+            "mem.l1d_miss_rate",
+            "mem.l2_miss_rate",
+        ] {
+            let series = snap
+                .series(name)
+                .unwrap_or_else(|| panic!("{name} missing"));
+            assert_eq!(series.len(), n, "{name}");
+            for (i, pt) in series.iter().enumerate() {
+                assert_eq!(pt.interval, i as u64, "{name}");
+                assert!(pt.value.is_finite(), "{name}");
+            }
+        }
+        // The series agree with the pipeline's own interval snapshots.
+        for (i, iv) in r.stats.intervals.iter().enumerate() {
+            assert_eq!(
+                snap.series("iq.interval_avf").unwrap()[i].value,
+                iv.hint_avf
+            );
+            assert_eq!(snap.series("ipc").unwrap()[i].value, iv.ipc());
+        }
+        let ipc_hist = snap.histogram("interval.ipc").unwrap();
+        assert_eq!(ipc_hist.count, n as u64);
+        // Metrics collection must not perturb the simulation.
+        let mut bare = mini_pipeline(["bzip2", "eon", "gcc", "perlbmk"]);
+        let rb = run_insts(&mut bare, 60_000);
+        assert_eq!(rb.stats.cycles, r.stats.cycles);
+        assert_eq!(rb.stats.committed_per_thread, r.stats.committed_per_thread);
+    }
+
+    #[test]
+    fn warm_up_resets_metric_accumulation() {
+        // warm_up restarts interval indexing at 0; the metrics registry
+        // must drop warmup-phase accumulation with it, or measured
+        // points share indices with warmup points and every exported
+        // interval row carries two values per series.
+        let mut p = mini_pipeline(["bzip2", "eon", "gcc", "perlbmk"]);
+        let metrics = Metrics::new();
+        p.set_metrics(metrics.clone());
+        p.warm_up(50_000);
+        let r = run_insts(&mut p, 60_000);
+        let n = r.stats.intervals.len();
+        assert!(n > 0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.intervals.len(), n, "measured intervals only");
+        let ipc = snap.series("ipc").unwrap();
+        assert_eq!(ipc.len(), n);
+        for (i, pt) in ipc.iter().enumerate() {
+            assert_eq!(pt.interval, i as u64, "indices unique and 0-based");
+        }
+        assert_eq!(snap.histogram("interval.ipc").unwrap().count, n as u64);
     }
 
     #[test]

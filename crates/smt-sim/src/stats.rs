@@ -15,6 +15,10 @@ pub struct IntervalSnapshot {
     pub l2_misses: u64,
     /// Mean ready-queue length over the interval's cycles.
     pub avg_ready_len: f64,
+    /// Mean count of ACE-hinted ready-queue entries over the interval's
+    /// cycles (the per-length companion of Figure 2, on the interval
+    /// clock).
+    pub avg_ready_ace_len: f64,
     /// Mean IQ occupancy over the interval's cycles.
     pub avg_iq_len: f64,
     /// Online (hint-bit) IQ AVF estimate for the interval.
@@ -28,6 +32,16 @@ impl IntervalSnapshot {
             0.0
         } else {
             self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of ready-queue entries that were ACE-hinted, averaged
+    /// over the interval.
+    pub fn ready_ace_fraction(&self) -> f64 {
+        if self.avg_ready_len <= 0.0 {
+            0.0
+        } else {
+            (self.avg_ready_ace_len / self.avg_ready_len).clamp(0.0, 1.0)
         }
     }
 }
@@ -139,6 +153,24 @@ mod tests {
         };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
         assert_eq!(IntervalSnapshot::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn ready_ace_fraction_guards() {
+        let s = IntervalSnapshot {
+            avg_ready_len: 10.0,
+            avg_ready_ace_len: 4.0,
+            ..Default::default()
+        };
+        assert!((s.ready_ace_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(IntervalSnapshot::default().ready_ace_fraction(), 0.0);
+        // Accumulator rounding can't push the fraction above 1.
+        let odd = IntervalSnapshot {
+            avg_ready_len: 1.0,
+            avg_ready_ace_len: 1.5,
+            ..Default::default()
+        };
+        assert_eq!(odd.ready_ace_fraction(), 1.0);
     }
 
     #[test]

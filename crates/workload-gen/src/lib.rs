@@ -37,5 +37,5 @@ pub mod spec;
 pub use engine::ThreadEngine;
 pub use mix::{mix_by_name, standard_mixes, MixGroup, WorkloadMix};
 pub use model::{BenchClass, BenchmarkModel};
-pub use program::{generate_program, Program};
+pub use program::{generate_program, generate_program_salted, Program};
 pub use spec::{all_models, model_by_name};

@@ -89,12 +89,19 @@ impl BenchmarkModel {
     /// Deterministic per-benchmark seed derived from the name (FNV-1a),
     /// so every run of every experiment regenerates identical programs.
     pub fn seed(&self) -> u64 {
+        self.seed_with(0)
+    }
+
+    /// Per-benchmark seed mixed with a salt (splitmix64 increment), for
+    /// cross-seed experiments that need N independent draws from the
+    /// same benchmark model. Salt 0 is the canonical seed.
+    pub fn seed_with(&self, salt: u64) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
         for b in self.name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
-        h
+        h ^ salt.wrapping_mul(0x9e3779b97f4a7c15)
     }
 
     /// Fraction of generated instructions that are compute ops.

@@ -160,9 +160,9 @@ struct Gen {
 }
 
 impl Gen {
-    fn new(model: &BenchmarkModel) -> Gen {
+    fn new(model: &BenchmarkModel, salt: u64) -> Gen {
         Gen {
-            rng: StdRng::seed_from_u64(model.seed()),
+            rng: StdRng::seed_from_u64(model.seed_with(salt)),
             model: model.clone(),
             insts: Vec::new(),
             live_int: DomainCursor::new(domains::LIVE),
@@ -754,10 +754,18 @@ impl Gen {
 /// Generate the synthetic program for a benchmark model. Fully
 /// deterministic: the RNG is seeded from the model name.
 pub fn generate_program(model: &BenchmarkModel) -> Program {
+    generate_program_salted(model, 0)
+}
+
+/// Generate one of N independent program draws from a benchmark model:
+/// the RNG seed mixes the model's name hash with `salt`, so different
+/// salts give statistically independent programs with the same model
+/// parameters. Salt 0 reproduces [`generate_program`] exactly.
+pub fn generate_program_salted(model: &BenchmarkModel, salt: u64) -> Program {
     model
         .validate()
         .unwrap_or_else(|e| panic!("invalid model {}: {e}", model.name));
-    let mut g = Gen::new(model);
+    let mut g = Gen::new(model, salt);
 
     // Reserve slot 0 region start. First pass: we need helper entries
     // before regions call them, but helpers live *after* the main ring to
@@ -822,6 +830,22 @@ mod tests {
         let a = generate_program(&crate::spec::model_by_name("gcc").unwrap());
         let b = generate_program(&crate::spec::model_by_name("mcf").unwrap());
         assert_ne!(a.insts, b.insts);
+    }
+
+    #[test]
+    fn salt_zero_is_canonical_and_salts_are_independent() {
+        let m = crate::spec::model_by_name("gcc").unwrap();
+        let canonical = generate_program(&m);
+        assert_eq!(generate_program_salted(&m, 0).insts, canonical.insts);
+        let s1 = generate_program_salted(&m, 1);
+        let s2 = generate_program_salted(&m, 2);
+        assert_ne!(s1.insts, canonical.insts);
+        assert_ne!(s1.insts, s2.insts);
+        // Salted draws stay deterministic and well-formed.
+        assert_eq!(generate_program_salted(&m, 1).insts, s1.insts);
+        for inst in &s1.insts {
+            assert!(inst.is_well_formed());
+        }
     }
 
     #[test]
