@@ -31,6 +31,37 @@ pub const ROB_ACE_UNACE: u32 = 4;
 /// Architectural register width in bits.
 pub const RF_REG_BITS: u32 = 64;
 
+/// Bit-position view of the ROB weights above, used by fault injection
+/// to classify a uniformly-sampled entry bit. The regions tile the
+/// entry so that the class populations reproduce the ACE weights:
+///
+/// * `[0, ROB_ACE_POST_WB)` — **control**: completion/exception flags
+///   and retirement bookkeeping, ACE from dispatch to commit for every
+///   committed instruction (this is also `ROB_ACE_UNACE`).
+/// * `[ROB_ACE_POST_WB, ROB_ACE_PRE_WB)` — **payload**: the buffered
+///   result/recovery state, live only until writeback publishes it.
+/// * `[ROB_ACE_PRE_WB, ROB_ENTRY_BITS)` — **dead**: never counted ACE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobBitClass {
+    Control,
+    Payload,
+    Dead,
+}
+
+/// Classify one of the [`ROB_ENTRY_BITS`] stored bits. Panics if `bit`
+/// is out of range.
+#[inline]
+pub fn rob_bit_class(bit: u32) -> RobBitClass {
+    assert!(bit < ROB_ENTRY_BITS, "ROB bit {bit} out of range");
+    if bit < ROB_ACE_POST_WB {
+        RobBitClass::Control
+    } else if bit < ROB_ACE_PRE_WB {
+        RobBitClass::Payload
+    } else {
+        RobBitClass::Dead
+    }
+}
+
 /// Latch bits per function unit (operands + result + control).
 pub const FU_LATCH_BITS: u32 = 160;
 /// FU ACE bits while an ACE instruction occupies the unit.
@@ -61,6 +92,30 @@ mod tests {
         assert!(FU_UNACE_BITS < FU_ACE_BITS);
         assert!(LSQ_ACE_BITS <= LSQ_ENTRY_BITS);
         assert!(LSQ_UNACE_BITS < LSQ_ACE_BITS);
+    }
+
+    #[test]
+    fn rob_bit_classes_reproduce_ace_weights() {
+        let mut control = 0;
+        let mut payload = 0;
+        let mut dead = 0;
+        for bit in 0..ROB_ENTRY_BITS {
+            match rob_bit_class(bit) {
+                RobBitClass::Control => control += 1,
+                RobBitClass::Payload => payload += 1,
+                RobBitClass::Dead => dead += 1,
+            }
+        }
+        assert_eq!(control, ROB_ACE_POST_WB);
+        assert_eq!(control, ROB_ACE_UNACE);
+        assert_eq!(control + payload, ROB_ACE_PRE_WB);
+        assert_eq!(control + payload + dead, ROB_ENTRY_BITS);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rob_bit_class_range_checked() {
+        let _ = rob_bit_class(ROB_ENTRY_BITS);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 pub mod bench;
 pub mod context;
 pub mod exhibits;
+pub mod faultinject;
 pub mod fig1;
 pub mod fig10;
 pub mod fig2;
@@ -41,6 +42,7 @@ pub mod table3;
 pub use bench::{BenchBaseline, BENCH_SCHEMA_VERSION};
 pub use context::{ExperimentContext, ExperimentParams};
 pub use exhibits::{Exhibit, EXHIBITS};
+pub use faultinject::{FaultInjectReport, FAULT_SCHEMA_VERSION};
 pub use manifest::RunManifest;
 pub use report::Rendered;
 pub use runner::{run_scheme, run_scheme_salted, run_stats_only, RunOutcome};

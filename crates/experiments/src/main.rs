@@ -6,6 +6,8 @@
 //! experiments --list
 //! experiments bench-baseline [--seeds N] [--out FILE]
 //!             [--check-baseline FILE] [--metrics DIR]
+//! experiments fault-inject [--fast] [--seeds N] [--trials N]
+//!             [--out FILE] [--check-avf] [--trace DIR] [--metrics DIR]
 //! ```
 //!
 //! With no exhibit arguments, everything runs (`all`). `--fast` uses the
@@ -29,16 +31,23 @@
 //! any wall-time (>15 %) or simulation-metric (>2 % beyond seed noise)
 //! regression.
 //!
+//! `fault-inject` runs Monte-Carlo SEU campaigns (baseline and DVM) over
+//! `--seeds` workload salts with `--trials` IQ injections each and
+//! prints the per-structure outcome table; `--out FILE` records the
+//! campaign JSON and `--check-avf` exits 1 unless the ACE-analysis IQ
+//! AVF falls inside every campaign's injection Wilson interval *and*
+//! DVM measures strictly less pooled IQ vulnerability than baseline.
+//!
 //! Unknown exhibit names are rejected up front (exit code 2) before any
 //! simulation starts; repeated exhibit names run once.
 
 use experiments::context::{ExperimentContext, ExperimentParams};
-use experiments::{bench, exhibits};
+use experiments::{bench, exhibits, faultinject};
 use std::path::PathBuf;
 use std::time::Instant;
 
 /// Flags that consume the following argument.
-const VALUE_FLAGS: [&str; 7] = [
+const VALUE_FLAGS: [&str; 8] = [
     "--csv",
     "--manifest",
     "--trace",
@@ -46,6 +55,7 @@ const VALUE_FLAGS: [&str; 7] = [
     "--out",
     "--check-baseline",
     "--seeds",
+    "--trials",
 ];
 
 fn main() {
@@ -101,6 +111,36 @@ fn main() {
             seeds,
             dir_flag("--out"),
             dir_flag("--check-baseline"),
+            metrics_dir,
+        );
+        return;
+    }
+
+    if requested.first() == Some(&"fault-inject") {
+        let extra: Vec<&str> = requested[1..].to_vec();
+        if !extra.is_empty() {
+            eprintln!("fault-inject takes no exhibit arguments: {extra:?}");
+            std::process::exit(2);
+        }
+        let positive = |flag: &str, default: u64| -> u64 {
+            match value_of(flag).map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) if n >= 1 => n,
+                None => default,
+                bad => {
+                    eprintln!("{flag} wants a positive integer, got {bad:?}");
+                    std::process::exit(2);
+                }
+            }
+        };
+        let seeds = positive("--seeds", 3);
+        let trials = positive("--trials", 120);
+        run_fault_inject(
+            seeds,
+            trials,
+            fast,
+            dir_flag("--out"),
+            args.iter().any(|a| a == "--check-avf"),
+            trace_dir,
             metrics_dir,
         );
         return;
@@ -281,6 +321,68 @@ fn run_bench_baseline(
             eprintln!("baseline check FAILED against {}:", path.display());
             for r in &regressions {
                 eprintln!("  - {r}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `fault-inject` subcommand: run the campaigns, report, optionally
+/// record JSON and/or gate on model agreement.
+fn run_fault_inject(
+    seeds: u64,
+    trials: u64,
+    fast: bool,
+    out: Option<PathBuf>,
+    check_avf: bool,
+    trace_dir: Option<PathBuf>,
+    metrics_dir: Option<PathBuf>,
+) {
+    let params = if fast {
+        ExperimentParams::fast()
+    } else {
+        ExperimentParams::full()
+    };
+    let mut ctx = ExperimentContext::new(params);
+    if let Some(dir) = &trace_dir {
+        ctx = ctx.with_trace_dir(dir);
+    }
+    if let Some(dir) = &metrics_dir {
+        ctx = ctx.with_metrics_dir(dir);
+    }
+    println!(
+        "# smtsim fault-inject (schema v{}, {} salt(s), {} IQ trials/campaign, warmup {} insts, {} measured cycles/run)\n",
+        faultinject::FAULT_SCHEMA_VERSION,
+        seeds,
+        trials,
+        ctx.params.warmup_insts,
+        ctx.params.run_cycles
+    );
+    let t0 = Instant::now();
+    let report = faultinject::run_fault_inject(&ctx, seeds, trials);
+    println!("{}", faultinject::render(&report));
+    println!("  [fault-inject ran in {:.1?}]", t0.elapsed());
+
+    if let Some(path) = &out {
+        match report.write(path) {
+            Ok(()) => println!("  [campaign report -> {}]", path.display()),
+            Err(e) => {
+                eprintln!("cannot write campaign report {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if check_avf {
+        let failures = faultinject::check(&report);
+        if failures.is_empty() {
+            println!(
+                "  [AVF check passed: ACE analysis agrees with injection on all {} campaign(s)]",
+                report.campaigns.len()
+            );
+        } else {
+            eprintln!("AVF check FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
             }
             std::process::exit(1);
         }

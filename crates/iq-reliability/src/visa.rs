@@ -26,7 +26,12 @@ impl IssuePolicy for VisaIssue {
     }
 
     fn prioritize(&mut self, ready: &mut Vec<ReadyInst>) {
-        // ACE first (false < true, so negate), then age.
+        // ACE first (false < true, so negate), then age. `seq` is unique
+        // across threads, so the key is a *total* order: the result is
+        // independent of the incoming permutation even though the ready
+        // list inherits the IQ's swap_remove-scrambled storage order —
+        // a replayed seed issues identically. (`sort_unstable` is safe
+        // for the same reason: no ties exist for stability to preserve.)
         ready.sort_unstable_by_key(|r| (!r.ace_hint, r.seq));
     }
 }
@@ -76,5 +81,36 @@ mod tests {
         let mut v: Vec<ReadyInst> = Vec::new();
         VisaIssue.prioritize(&mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn selection_is_invariant_to_input_permutation() {
+        // The ready list arrives in IQ storage order, which depends on
+        // the history of swap_remove compactions. Issue selection must
+        // not: every permutation of the same ready set has to produce
+        // the same priority order, or replayed seeds diverge.
+        let base = vec![
+            ri(11, false),
+            ri(4, true),
+            ri(8, true),
+            ri(2, false),
+            ri(6, true),
+        ];
+        let mut expect = base.clone();
+        VisaIssue.prioritize(&mut expect);
+        let expect: Vec<u64> = expect.iter().map(|r| r.seq).collect();
+        // Cycle through enough distinct rotations/reversals to cover
+        // representative orders without a factorial blowup.
+        for rot in 0..base.len() {
+            let mut v = base.clone();
+            v.rotate_left(rot);
+            VisaIssue.prioritize(&mut v);
+            assert_eq!(v.iter().map(|r| r.seq).collect::<Vec<_>>(), expect);
+            let mut v = base.clone();
+            v.rotate_left(rot);
+            v.reverse();
+            VisaIssue.prioritize(&mut v);
+            assert_eq!(v.iter().map(|r| r.seq).collect::<Vec<_>>(), expect);
+        }
     }
 }

@@ -1,0 +1,455 @@
+//! Golden-run capture and commit-order architectural emulation.
+//!
+//! A fault trial is judged by *architectural* state, not
+//! microarchitectural state: a flipped bit matters exactly when it
+//! changes something the program externalises — the retired-store
+//! stream, control decisions, program output. The emulator here gives
+//! every committed instruction a synthetic 64-bit result (a hash of its
+//! opcode, PC and source values, so corruption propagates through the
+//! dataflow exactly along the dependence edges the ACE analyzer walks)
+//! and folds the results reaching *sinks* (stores, control,
+//! [`micro_isa::OpClass::Output`]) into per-thread rolling chain
+//! hashes. Two runs whose [`SinkDigest`]s match are architecturally
+//! indistinguishable.
+//!
+//! Because payload and register faults are injected as *directives*
+//! over the recorded golden commit stream rather than as mutations of
+//! timing-simulator state, the perturbed replay is cycle-for-cycle
+//! aligned with the golden run by construction — the differential
+//! comparison isolates the fault's dataflow effect with no timing
+//! noise.
+
+use std::collections::HashMap;
+
+use micro_isa::{OpClass, Reg, ThreadId};
+use serde::{Deserialize, Serialize};
+use smt_sim::{RetireEvent, SimObserver, REGS_PER_THREAD};
+
+/// SplitMix64-style finalizer: the avalanche mixing all synthetic
+/// values flow through.
+#[inline]
+pub fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One committed instruction, as recorded from the golden run — the
+/// minimum the emulator needs to re-derive architectural dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitRec {
+    pub seq: u64,
+    pub tid: ThreadId,
+    pub pc: u64,
+    pub op: OpClass,
+    pub dest: Option<Reg>,
+    pub srcs: [Option<Reg>; 2],
+    pub mem_addr: Option<u64>,
+    /// Resolved control outcome `(taken, next_pc)` for control ops.
+    pub ctrl: Option<(bool, u64)>,
+    pub retire_cycle: u64,
+}
+
+impl CommitRec {
+    pub fn of(ev: &RetireEvent) -> CommitRec {
+        CommitRec {
+            seq: ev.inst.seq,
+            tid: ev.inst.tid,
+            pc: ev.inst.pc,
+            op: ev.inst.op,
+            dest: ev.inst.dest,
+            srcs: ev.inst.srcs,
+            mem_addr: ev.inst.mem_addr,
+            ctrl: ev.inst.ctrl.map(|c| (c.taken, c.next_pc)),
+            retire_cycle: ev.retire_cycle,
+        }
+    }
+}
+
+/// [`SimObserver`] that records the committed-instruction stream of a
+/// golden run (squashes are architecturally invisible and skipped).
+#[derive(Debug, Default)]
+pub struct GoldenRecorder {
+    pub commits: Vec<CommitRec>,
+    pub final_cycle: u64,
+}
+
+impl SimObserver for GoldenRecorder {
+    fn on_commit(&mut self, ev: &RetireEvent) {
+        self.commits.push(CommitRec::of(ev));
+    }
+
+    fn on_finish(&mut self, final_cycle: u64) {
+        self.final_cycle = final_cycle;
+    }
+}
+
+/// Fault applied during an emulator replay of the commit stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultDirective {
+    /// Fault-free replay (produces the golden digest).
+    #[default]
+    None,
+    /// A payload bit of the victim's IQ/ROB entry flipped: XOR the
+    /// victim's result as it commits, along its original wiring.
+    PerturbResult { victim_seq: u64, perturbation: u64 },
+    /// An architectural register bit flipped at `at_cycle`: XOR the
+    /// register at the thread's first commit at or after that cycle.
+    FlipRegister {
+        tid: ThreadId,
+        reg_index: usize,
+        bit: u32,
+        at_cycle: u64,
+    },
+}
+
+/// Architectural summary of one (real or replayed) run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SinkDigest {
+    /// Per-thread rolling hash over everything that reached a sink.
+    pub chains: Vec<u64>,
+    /// Per-thread sink count.
+    pub sinks: Vec<u64>,
+    /// Per-thread committed-instruction count.
+    pub committed: Vec<u64>,
+    /// Hash of the final architectural register values of all threads.
+    /// Divergence here *without* chain divergence means the corruption
+    /// is still latent in a register no sink has read — not (yet) SDC.
+    pub rf_hash: u64,
+}
+
+impl SinkDigest {
+    /// Architecturally indistinguishable observable behaviour?
+    pub fn chains_match(&self, other: &SinkDigest) -> bool {
+        self.chains == other.chains && self.sinks == other.sinks
+    }
+}
+
+/// Commit-order architectural emulator.
+///
+/// Memory is modelled per-thread (the synthetic workloads share no
+/// data; a shared map would couple thread digests through commit
+/// *interleaving*, turning timing jitter into false SDC). Loads from
+/// never-written addresses return a deterministic hash of the address,
+/// so golden and replayed runs agree on cold memory.
+pub struct ArchEmulator {
+    rf: Vec<[u64; REGS_PER_THREAD]>,
+    mem: Vec<HashMap<u64, u64>>,
+    chains: Vec<u64>,
+    sinks: Vec<u64>,
+    committed: Vec<u64>,
+    directive: FaultDirective,
+    flip_applied: bool,
+}
+
+impl ArchEmulator {
+    pub fn new(num_threads: usize, directive: FaultDirective) -> ArchEmulator {
+        let mut rf = Vec::with_capacity(num_threads);
+        for t in 0..num_threads {
+            let mut regs = [0u64; REGS_PER_THREAD];
+            for (r, slot) in regs.iter_mut().enumerate() {
+                *slot = mix((t * REGS_PER_THREAD + r) as u64 + 1);
+            }
+            rf.push(regs);
+        }
+        ArchEmulator {
+            rf,
+            mem: vec![HashMap::new(); num_threads],
+            chains: vec![0; num_threads],
+            sinks: vec![0; num_threads],
+            committed: vec![0; num_threads],
+            directive,
+            flip_applied: false,
+        }
+    }
+
+    /// Execute one committed instruction.
+    pub fn commit(&mut self, rec: &CommitRec) {
+        let t = rec.tid as usize;
+        if let FaultDirective::FlipRegister {
+            tid,
+            reg_index,
+            bit,
+            at_cycle,
+        } = self.directive
+        {
+            if !self.flip_applied && tid as usize == t && rec.retire_cycle >= at_cycle {
+                self.rf[t][reg_index] ^= 1u64 << (bit % 64);
+                self.flip_applied = true;
+            }
+        }
+        let mut h = mix(rec.op.opcode() as u64 ^ rec.pc.rotate_left(17));
+        for src in rec.srcs.iter().flatten() {
+            h = mix(h ^ self.rf[t][src.flat_index()]);
+        }
+        if rec.op == OpClass::Load {
+            let addr = rec.mem_addr.unwrap_or(0) >> 3;
+            let v = *self.mem[t].entry(addr).or_insert_with(|| mix(!addr));
+            h = mix(h ^ v);
+        }
+        if let FaultDirective::PerturbResult {
+            victim_seq,
+            perturbation,
+        } = self.directive
+        {
+            if rec.seq == victim_seq {
+                h ^= perturbation;
+            }
+        }
+        if rec.op == OpClass::Store {
+            self.mem[t].insert(rec.mem_addr.unwrap_or(0) >> 3, h);
+        }
+        if let Some(d) = rec.dest {
+            self.rf[t][d.flat_index()] = h;
+        }
+        if avf::ace::is_sink(rec.op) {
+            let mut s = mix(h ^ rec.pc);
+            if let Some((taken, next)) = rec.ctrl {
+                s = mix(s ^ ((taken as u64) << 1) ^ next);
+            }
+            self.chains[t] = mix(self.chains[t] ^ s);
+            self.sinks[t] += 1;
+        }
+        self.committed[t] += 1;
+    }
+
+    /// Finish the replay and summarise.
+    pub fn finish(self) -> SinkDigest {
+        let mut rf_hash = 0u64;
+        for regs in &self.rf {
+            for &v in regs.iter() {
+                rf_hash = mix(rf_hash ^ v);
+            }
+        }
+        SinkDigest {
+            chains: self.chains,
+            sinks: self.sinks,
+            committed: self.committed,
+            rf_hash,
+        }
+    }
+}
+
+/// Replay a recorded commit stream under `directive`.
+pub fn replay(num_threads: usize, commits: &[CommitRec], directive: FaultDirective) -> SinkDigest {
+    let mut emu = ArchEmulator::new(num_threads, directive);
+    for rec in commits {
+        emu.commit(rec);
+    }
+    emu.finish()
+}
+
+/// The fault-free digest of a recorded commit stream.
+pub fn golden_digest(num_threads: usize, commits: &[CommitRec]) -> SinkDigest {
+    replay(num_threads, commits, FaultDirective::None)
+}
+
+/// [`SimObserver`] that watches one sequence number's fate during a
+/// re-simulated (pipeline-mutating) trial.
+#[derive(Debug, Default)]
+pub struct FateObserver {
+    pub watch_seq: u64,
+    pub committed: bool,
+    pub squashed: bool,
+}
+
+impl FateObserver {
+    pub fn new(watch_seq: u64) -> FateObserver {
+        FateObserver {
+            watch_seq,
+            committed: false,
+            squashed: false,
+        }
+    }
+}
+
+impl SimObserver for FateObserver {
+    fn on_commit(&mut self, ev: &RetireEvent) {
+        if ev.inst.seq == self.watch_seq {
+            self.committed = true;
+        }
+    }
+
+    fn on_squash(&mut self, ev: &RetireEvent) {
+        if ev.inst.seq == self.watch_seq {
+            self.squashed = true;
+        }
+    }
+}
+
+/// Fan-out observer: drives two observers from one simulation (the
+/// golden run feeds the AVF collector and the commit recorder at once).
+pub struct Tandem<'a, A: SimObserver, B: SimObserver>(pub &'a mut A, pub &'a mut B);
+
+impl<A: SimObserver, B: SimObserver> SimObserver for Tandem<'_, A, B> {
+    fn on_commit(&mut self, ev: &RetireEvent) {
+        self.0.on_commit(ev);
+        self.1.on_commit(ev);
+    }
+
+    fn on_squash(&mut self, ev: &RetireEvent) {
+        self.0.on_squash(ev);
+        self.1.on_squash(ev);
+    }
+
+    fn on_finish(&mut self, final_cycle: u64) {
+        self.0.on_finish(final_cycle);
+        self.1.on_finish(final_cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micro_isa::Reg;
+
+    fn rec(seq: u64, op: OpClass, dest: Option<Reg>, srcs: [Option<Reg>; 2]) -> CommitRec {
+        CommitRec {
+            seq,
+            tid: 0,
+            pc: 0x400 + seq * 4,
+            op,
+            dest,
+            srcs,
+            mem_addr: if op.is_mem() { Some(seq * 8) } else { None },
+            ctrl: None,
+            retire_cycle: seq,
+        }
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let stream = vec![
+            rec(1, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(
+                2,
+                OpClass::IAlu,
+                Some(Reg::int(2)),
+                [Some(Reg::int(1)), None],
+            ),
+            rec(3, OpClass::Store, None, [Some(Reg::int(2)), None]),
+        ];
+        let a = golden_digest(1, &stream);
+        let b = golden_digest(1, &stream);
+        assert_eq!(a, b);
+        assert_eq!(a.sinks, vec![1]);
+        assert_eq!(a.committed, vec![3]);
+    }
+
+    #[test]
+    fn perturbing_a_sink_reaching_value_changes_the_chain() {
+        let stream = vec![
+            rec(1, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(
+                2,
+                OpClass::IAlu,
+                Some(Reg::int(2)),
+                [Some(Reg::int(1)), None],
+            ),
+            rec(3, OpClass::Store, None, [Some(Reg::int(2)), None]),
+        ];
+        let golden = golden_digest(1, &stream);
+        let faulty = replay(
+            1,
+            &stream,
+            FaultDirective::PerturbResult {
+                victim_seq: 1,
+                perturbation: 1 << 5,
+            },
+        );
+        assert!(!faulty.chains_match(&golden), "corruption reached a store");
+    }
+
+    #[test]
+    fn perturbing_a_dead_value_is_masked() {
+        // seq 1's result is overwritten by seq 2 before anything reads
+        // it; the store consumes only seq 2's value.
+        let stream = vec![
+            rec(1, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(2, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(3, OpClass::Store, None, [Some(Reg::int(1)), None]),
+        ];
+        let golden = golden_digest(1, &stream);
+        let faulty = replay(
+            1,
+            &stream,
+            FaultDirective::PerturbResult {
+                victim_seq: 1,
+                perturbation: 0xdead_beef,
+            },
+        );
+        assert!(faulty.chains_match(&golden));
+        assert_eq!(faulty.rf_hash, golden.rf_hash, "value was overwritten");
+    }
+
+    #[test]
+    fn register_flip_after_last_use_is_latent_not_sdc() {
+        // The store reads r1 at seq 2; the flip lands afterwards
+        // (cycle 3), so no sink ever observes it — but the final
+        // register file differs: latent corruption, not SDC.
+        let stream = vec![
+            rec(1, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(2, OpClass::Store, None, [Some(Reg::int(1)), None]),
+            rec(3, OpClass::IAlu, Some(Reg::int(2)), [None, None]),
+        ];
+        let golden = golden_digest(1, &stream);
+        let faulty = replay(
+            1,
+            &stream,
+            FaultDirective::FlipRegister {
+                tid: 0,
+                reg_index: Reg::int(1).flat_index(),
+                bit: 7,
+                at_cycle: 3,
+            },
+        );
+        assert!(faulty.chains_match(&golden), "flip after last use");
+        assert_ne!(faulty.rf_hash, golden.rf_hash, "corruption is latent");
+    }
+
+    #[test]
+    fn register_flip_before_read_is_sdc() {
+        let stream = vec![
+            rec(1, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(2, OpClass::Store, None, [Some(Reg::int(1)), None]),
+        ];
+        let golden = golden_digest(1, &stream);
+        let faulty = replay(
+            1,
+            &stream,
+            FaultDirective::FlipRegister {
+                tid: 0,
+                reg_index: Reg::int(1).flat_index(),
+                bit: 0,
+                at_cycle: 2,
+            },
+        );
+        assert!(!faulty.chains_match(&golden));
+    }
+
+    #[test]
+    fn register_overwritten_before_read_is_fully_masked() {
+        let stream = vec![
+            rec(1, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(2, OpClass::IAlu, Some(Reg::int(1)), [None, None]),
+            rec(3, OpClass::Store, None, [Some(Reg::int(1)), None]),
+        ];
+        let golden = golden_digest(1, &stream);
+        // Flip lands at cycle 1 (before the overwrite at cycle 2).
+        let faulty = replay(
+            1,
+            &stream,
+            FaultDirective::FlipRegister {
+                tid: 0,
+                reg_index: Reg::int(1).flat_index(),
+                bit: 63,
+                at_cycle: 1,
+            },
+        );
+        // Note: the flip applies before seq 1 executes (same commit),
+        // but seq 1 overwrites r1 unconditionally, so nothing survives.
+        assert!(faulty.chains_match(&golden));
+        assert_eq!(faulty.rf_hash, golden.rf_hash);
+    }
+}

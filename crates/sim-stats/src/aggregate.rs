@@ -95,6 +95,62 @@ pub fn median(samples: &[f64]) -> f64 {
     }
 }
 
+/// Wilson score interval on a binomial proportion.
+///
+/// The fault-injection campaign estimates vulnerability as
+/// `non_masked / trials`; the Wilson interval is the right tool there
+/// because the proportion sits near 0 for protected structures, where
+/// the naive normal ("Wald") interval collapses to zero width and
+/// under-covers badly.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WilsonCi {
+    /// Point estimate `successes / trials` (0 for zero trials).
+    pub estimate: f64,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl WilsonCi {
+    /// Does the interval contain `value`?
+    pub fn contains(&self, value: f64) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// Wilson score interval for `successes` out of `trials` at normal
+/// quantile `z`. Zero trials yields the vacuous `[0, 1]` interval.
+pub fn wilson_ci(successes: u64, trials: u64, z: f64) -> WilsonCi {
+    assert!(successes <= trials, "successes exceed trials");
+    if trials == 0 {
+        return WilsonCi {
+            estimate: 0.0,
+            lo: 0.0,
+            hi: 1.0,
+        };
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    WilsonCi {
+        estimate: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// [`wilson_ci`] at the 95 % level (z = 1.96).
+pub fn wilson_ci95(successes: u64, trials: u64) -> WilsonCi {
+    wilson_ci(successes, trials, 1.96)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,5 +205,42 @@ mod tests {
         let s = SeedSummary::from_samples(&[1.0, 2.0, 4.0]);
         let back: SeedSummary = serde::json::from_str(&serde::json::to_string(&s)).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn wilson_known_value() {
+        // Classic check: 10/100 at 95 % → roughly [0.055, 0.174].
+        let ci = wilson_ci95(10, 100);
+        assert!((ci.estimate - 0.10).abs() < 1e-12);
+        assert!((ci.lo - 0.0552).abs() < 5e-3, "lo = {}", ci.lo);
+        assert!((ci.hi - 0.1744).abs() < 5e-3, "hi = {}", ci.hi);
+        assert!(ci.contains(0.10));
+        assert!(!ci.contains(0.30));
+    }
+
+    #[test]
+    fn wilson_edges_stay_in_unit_interval() {
+        let zero = wilson_ci95(0, 50);
+        assert_eq!(zero.estimate, 0.0);
+        assert_eq!(zero.lo, 0.0);
+        assert!(zero.hi > 0.0 && zero.hi < 0.2, "hi = {}", zero.hi);
+        let full = wilson_ci95(50, 50);
+        assert_eq!(full.hi, 1.0);
+        assert!(full.lo > 0.8 && full.lo < 1.0);
+        let none = wilson_ci95(0, 0);
+        assert_eq!((none.lo, none.hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_narrows_with_trials() {
+        let small = wilson_ci95(5, 50);
+        let large = wilson_ci95(100, 1000);
+        assert!(large.half_width() < small.half_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "successes exceed trials")]
+    fn wilson_rejects_impossible_counts() {
+        wilson_ci95(5, 4);
     }
 }

@@ -22,7 +22,7 @@ pub mod interval;
 pub mod metrics;
 pub mod table;
 
-pub use aggregate::{median, SeedSummary};
+pub use aggregate::{median, wilson_ci, wilson_ci95, SeedSummary, WilsonCi};
 pub use histogram::{CompanionHistogram, Histogram};
 pub use interval::IntervalSeries;
 pub use metrics::{geometric_mean, harmonic_ipc, mean, throughput_ipc};

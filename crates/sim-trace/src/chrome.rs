@@ -184,6 +184,27 @@ impl TraceSink for ChromeTraceSink {
                     ],
                 );
             }
+            TraceEvent::FaultInject {
+                structure,
+                entry,
+                bit,
+                victim_seq,
+                outcome,
+                ..
+            } => {
+                self.instant(
+                    ts,
+                    TID_PIPELINE,
+                    "fault_inject",
+                    vec![
+                        ("structure", Value::String(structure.clone())),
+                        ("entry", Value::U64(*entry as u64)),
+                        ("bit", Value::U64(*bit as u64)),
+                        ("victim_seq", Value::U64(victim_seq.unwrap_or(0))),
+                        ("outcome", Value::String(outcome.clone())),
+                    ],
+                );
+            }
             TraceEvent::Governor(gov) => {
                 let args = match gov {
                     GovernorEvent::Opt1CapChange {

@@ -138,6 +138,20 @@ pub enum TraceEvent {
     },
     /// Governor/DVM audit record.
     Governor(GovernorEvent),
+    /// A fault-injection campaign flipped one stored bit.
+    FaultInject {
+        cycle: u64,
+        /// Target structure ("iq", "rob", "rf").
+        structure: String,
+        /// Flattened slot index within the structure.
+        entry: usize,
+        /// Bit index within the entry.
+        bit: u32,
+        /// Sequence number of the instruction occupying the slot, if any.
+        victim_seq: Option<u64>,
+        /// Trial outcome label ("masked", "sdc", "detected", "hang", …).
+        outcome: String,
+    },
 }
 
 impl TraceEvent {
@@ -156,6 +170,7 @@ impl TraceEvent {
             TraceEvent::Flush { .. } => "flush",
             TraceEvent::IntervalRollover { .. } => "interval",
             TraceEvent::Governor(g) => g.kind(),
+            TraceEvent::FaultInject { .. } => "fault_inject",
         }
     }
 
@@ -171,7 +186,8 @@ impl TraceEvent {
             | TraceEvent::IqFree { cycle, .. }
             | TraceEvent::L2Miss { cycle, .. }
             | TraceEvent::Flush { cycle, .. }
-            | TraceEvent::IntervalRollover { cycle, .. } => *cycle,
+            | TraceEvent::IntervalRollover { cycle, .. }
+            | TraceEvent::FaultInject { cycle, .. } => *cycle,
             TraceEvent::Governor(g) => g.cycle(),
         }
     }
@@ -237,6 +253,14 @@ mod tests {
                 offender: Some(1),
                 thread_ace: vec![10, 44, 3, 9],
             }),
+            TraceEvent::FaultInject {
+                cycle: 77_000,
+                structure: "iq".into(),
+                entry: 42,
+                bit: 65,
+                victim_seq: Some(1_234_567),
+                outcome: "sdc".into(),
+            },
         ];
         for event in &events {
             let text = serde::json::to_string(event);

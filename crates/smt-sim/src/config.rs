@@ -87,6 +87,11 @@ impl MachineConfig {
     }
 }
 
+/// Commit-starvation watchdog default: generous enough that the
+/// longest legitimate commit gap (back-to-back L2 misses on every
+/// thread) never trips it.
+pub const DEFAULT_WATCHDOG_CYCLES: u64 = 200_000;
+
 /// When to stop a simulation.
 #[derive(Debug, Clone, Copy)]
 pub struct SimLimits {
@@ -95,6 +100,11 @@ pub struct SimLimits {
     pub max_instructions: u64,
     /// Hard cycle ceiling (deadlock backstop).
     pub max_cycles: u64,
+    /// Declare the run deadlocked after this many cycles without a
+    /// single commit. Fault-injection campaigns tighten it so a hung
+    /// trial is detected within its cycle budget instead of waiting
+    /// out the full default.
+    pub watchdog_cycles: u64,
 }
 
 impl SimLimits {
@@ -103,6 +113,7 @@ impl SimLimits {
             max_instructions: n,
             // Even at IPC 0.05 the budget fits; beyond this something hangs.
             max_cycles: n.saturating_mul(40).max(1_000_000),
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
         }
     }
 
@@ -113,7 +124,15 @@ impl SimLimits {
         SimLimits {
             max_instructions: u64::MAX,
             max_cycles: n,
+            watchdog_cycles: DEFAULT_WATCHDOG_CYCLES,
         }
+    }
+
+    /// Override the commit-starvation watchdog.
+    pub fn with_watchdog(mut self, cycles: u64) -> SimLimits {
+        assert!(cycles > 0, "watchdog must be positive");
+        self.watchdog_cycles = cycles;
+        self
     }
 
     /// Whether hitting the cycle ceiling is the intended stop (cycle
@@ -157,5 +176,13 @@ mod tests {
         let l = SimLimits::instructions(1_000_000);
         assert_eq!(l.max_instructions, 1_000_000);
         assert!(l.max_cycles >= 40_000_000);
+        assert_eq!(l.watchdog_cycles, DEFAULT_WATCHDOG_CYCLES);
+    }
+
+    #[test]
+    fn watchdog_is_overridable() {
+        let l = SimLimits::cycles(50_000).with_watchdog(2_000);
+        assert_eq!(l.watchdog_cycles, 2_000);
+        assert_eq!(l.max_cycles, 50_000);
     }
 }

@@ -81,6 +81,16 @@ impl IssueQueue {
         self.entries.contains(&id)
     }
 
+    /// The occupant of physical slot `idx`, if the slot is allocated.
+    /// Slot numbering reflects the collapsing-queue storage order
+    /// (`swap_remove` compaction): slots `0..len()` are occupied,
+    /// `len()..capacity()` are empty. Fault injection samples this
+    /// space uniformly.
+    pub fn entry_at(&self, idx: usize) -> Option<InstId> {
+        assert!(idx < self.capacity, "IQ slot {idx} out of range");
+        self.entries.get(idx).copied()
+    }
+
     pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
         self.entries.iter().copied()
     }

@@ -43,6 +43,13 @@ impl IssuePolicy for OldestFirst {
     }
 
     fn prioritize(&mut self, ready: &mut Vec<ReadyInst>) {
+        // `seq` is globally unique, so this key is a total order: the
+        // outcome cannot depend on the incoming list order (which is IQ
+        // storage order, scrambled by swap_remove compaction), and
+        // `sort_unstable` has no ties whose relative order it could
+        // scramble. Every issue policy must preserve this property —
+        // replay determinism (and the fault-injection golden-run
+        // comparison built on it) depends on total-order tie-breaks.
         ready.sort_unstable_by_key(|r| r.seq);
     }
 }
@@ -78,5 +85,25 @@ mod tests {
         let mut v = vec![ready(2, true), ready(1, false)];
         OldestFirst.prioritize(&mut v);
         assert_eq!(v[0].seq, 1);
+    }
+
+    #[test]
+    fn oldest_first_invariant_to_input_permutation() {
+        // The ready list inherits the IQ's swap_remove storage order;
+        // selection must erase it (see the comment in `prioritize`).
+        let base = vec![
+            ready(7, true),
+            ready(3, false),
+            ready(12, true),
+            ready(1, true),
+            ready(9, false),
+        ];
+        for rot in 0..base.len() {
+            let mut v = base.clone();
+            v.rotate_left(rot);
+            OldestFirst.prioritize(&mut v);
+            let seqs: Vec<u64> = v.iter().map(|r| r.seq).collect();
+            assert_eq!(seqs, vec![1, 3, 7, 9, 12]);
+        }
     }
 }

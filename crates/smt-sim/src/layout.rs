@@ -40,6 +40,52 @@ pub fn iq_ace_bits(is_ace: bool) -> u32 {
     }
 }
 
+/// First status bit of an IQ entry (the encoded word occupies `0..64`).
+pub const STATUS_LO: u32 = micro_isa::ENCODED_BITS;
+/// Live status bits: valid, ready, thread id, age tag.
+pub const LIVE_STATUS_BITS: u32 = 4;
+
+/// What flipping one stored IQ-entry bit does to a *resident* (not
+/// squashed) instruction. This is the single-event-upset view of the
+/// same taxonomy `iq_ace_bits` weights:
+///
+/// * **Select-critical** bits — opcode (the entry can no longer be
+///   decoded/matched for select), the ACE-hint bit and the 4 live
+///   status bits (valid/ready/tid/age: wakeup and age-based select
+///   break). These are the 10 bits a committed *un-ACE* instruction
+///   still exposes: corruption is never silent, it derails retirement
+///   itself (hang, or a malformed commit a real machine would
+///   machine-check).
+/// * **Payload** bits — destination/source tags and the immediate
+///   (the remaining 58 word bits): corruption rides the instruction's
+///   *result* through the dataflow and matters exactly when that result
+///   reaches an architectural sink — the definition of dataflow
+///   ACE-ness, and the 58-bit gap between `ACE_INST_BITS` and
+///   `UNACE_INST_BITS`.
+/// * **Dead** bits — the 4 status bits even an ACE instruction never
+///   exposes: always masked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IqBitClass {
+    SelectCritical,
+    Payload,
+    Dead,
+}
+
+/// Classify one of the [`IQ_ENTRY_BITS`] stored bits. Panics if `bit`
+/// is out of range.
+#[inline]
+pub fn iq_bit_class(bit: u32) -> IqBitClass {
+    assert!(bit < IQ_ENTRY_BITS, "IQ bit {bit} out of range");
+    let f_end = micro_isa::encoding::fields::ACE_BIT; // opcode ends, hint follows
+    if bit <= f_end || (STATUS_LO..STATUS_LO + LIVE_STATUS_BITS).contains(&bit) {
+        IqBitClass::SelectCritical
+    } else if bit < STATUS_LO {
+        IqBitClass::Payload
+    } else {
+        IqBitClass::Dead
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +103,44 @@ mod tests {
     fn ace_bits_dispatch() {
         assert_eq!(iq_ace_bits(true), ACE_INST_BITS);
         assert_eq!(iq_ace_bits(false), UNACE_INST_BITS);
+    }
+
+    #[test]
+    fn bit_classes_tile_the_entry_consistently() {
+        // The class populations must reproduce the ACE weights: the
+        // select-critical set is exactly what an un-ACE instruction
+        // exposes, and select-critical + payload is what an ACE
+        // instruction exposes.
+        let mut select = 0;
+        let mut payload = 0;
+        let mut dead = 0;
+        for bit in 0..IQ_ENTRY_BITS {
+            match iq_bit_class(bit) {
+                IqBitClass::SelectCritical => select += 1,
+                IqBitClass::Payload => payload += 1,
+                IqBitClass::Dead => dead += 1,
+            }
+        }
+        assert_eq!(select, UNACE_INST_BITS);
+        assert_eq!(select + payload, ACE_INST_BITS);
+        assert_eq!(select + payload + dead, IQ_ENTRY_BITS);
+    }
+
+    #[test]
+    fn bit_class_spot_checks() {
+        use micro_isa::encoding::fields;
+        assert_eq!(iq_bit_class(fields::OPCODE_LO), IqBitClass::SelectCritical);
+        assert_eq!(iq_bit_class(fields::ACE_BIT), IqBitClass::SelectCritical);
+        assert_eq!(iq_bit_class(fields::DEST_LO), IqBitClass::Payload);
+        assert_eq!(iq_bit_class(fields::IMM_LO), IqBitClass::Payload);
+        assert_eq!(iq_bit_class(STATUS_LO), IqBitClass::SelectCritical);
+        assert_eq!(iq_bit_class(STATUS_LO + LIVE_STATUS_BITS), IqBitClass::Dead);
+        assert_eq!(iq_bit_class(IQ_ENTRY_BITS - 1), IqBitClass::Dead);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_class_range_checked() {
+        let _ = iq_bit_class(IQ_ENTRY_BITS);
     }
 }

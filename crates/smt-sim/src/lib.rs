@@ -47,12 +47,16 @@ pub mod scoreboard;
 pub mod stats;
 pub mod types;
 
-pub use config::{MachineConfig, SimLimits};
+pub use config::{MachineConfig, SimLimits, DEFAULT_WATCHDOG_CYCLES};
 pub use dispatch::{DispatchGovernor, GovernorView, UnlimitedDispatch};
 pub use events::{NullObserver, RetireEvent, RetireKind, SimObserver};
 pub use fetch::{
     DataGating, FetchPolicy, FetchPolicyKind, Flush, Icount, PredictiveDataGating, Stall,
 };
 pub use issue::{IssuePolicy, OldestFirst, ReadyInst};
+pub use layout::{iq_bit_class, IqBitClass};
+pub use pipeline::inject::{
+    AppliedFault, InjectableState, Occupant, RobBitKind, Structure, REGS_PER_THREAD,
+};
 pub use pipeline::{Pipeline, SimResult};
 pub use stats::{IntervalSnapshot, SimStats};

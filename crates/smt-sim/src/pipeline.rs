@@ -56,6 +56,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use workload_gen::{Program, ThreadEngine};
 
+pub mod inject;
+
 /// The paper's sampling interval (Sections 2.2 and 5.1).
 pub const DEFAULT_INTERVAL_CYCLES: u64 = 10_000;
 
@@ -142,6 +144,10 @@ pub struct Pipeline {
     iv_mem_base: mem_hier::HierarchyStats,
     last_interval: IntervalSnapshot,
     last_commit_cycle: u64,
+    /// Per-context commit watermarks: an SMT machine keeps retiring
+    /// around a single starved thread, so the forward-progress watchdog
+    /// must watch each context, not the machine-wide commit stream.
+    thread_last_commit: Vec<u64>,
     /// Cycle at which measurement started (post-warmup).
     measure_start: u64,
     /// Ready/waiting split of the IQ as sampled by the most recent issue
@@ -220,6 +226,7 @@ impl Pipeline {
             iv_mem_base: mem_hier::HierarchyStats::default(),
             last_interval: IntervalSnapshot::default(),
             last_commit_cycle: 0,
+            thread_last_commit: vec![0; config.num_threads],
             measure_start: 0,
             cur_ready_len: 0,
             cur_waiting_len: 0,
@@ -295,7 +302,12 @@ impl Pipeline {
                 deadlocked = !limits.cycle_limited();
                 break;
             }
-            if self.now.saturating_sub(self.last_commit_cycle) > 200_000 {
+            let now = self.now;
+            if self
+                .thread_last_commit
+                .iter()
+                .any(|&c| now.saturating_sub(c) > limits.watchdog_cycles)
+            {
                 deadlocked = true;
                 break;
             }
@@ -319,7 +331,8 @@ impl Pipeline {
         let mut sink = crate::events::NullObserver;
         let target = self.stats.total_committed() + insts;
         while self.stats.total_committed() < target
-            && self.now.saturating_sub(self.last_commit_cycle) <= 200_000
+            && self.now.saturating_sub(self.last_commit_cycle)
+                <= crate::config::DEFAULT_WATCHDOG_CYCLES
         {
             self.step(&mut sink);
         }
@@ -340,6 +353,7 @@ impl Pipeline {
         // (gauges persist — they are the governors' live state).
         self.metrics.reset_accumulated();
         self.last_commit_cycle = self.now;
+        self.thread_last_commit.fill(self.now);
         self.now
     }
 
@@ -411,6 +425,7 @@ impl Pipeline {
                 self.stats.committed_per_thread[tid] += 1;
                 self.iv_committed += 1;
                 self.last_commit_cycle = self.now;
+                self.thread_last_commit[tid] = self.now;
                 observer.on_commit(&Self::retire_event(&info, RetireKind::Commit, self.now));
                 budget -= 1;
                 retired += 1;
@@ -754,7 +769,7 @@ impl Pipeline {
         let mut executing_ace = 0usize;
         for id in self.iq.iter() {
             let info = self.slab.get(id);
-            if info.stage == InstStage::Dispatched && info.sources_ready() {
+            if info.stage == InstStage::Dispatched && info.sources_ready() && !info.inhibit_issue {
                 ready.push(ReadyInst {
                     id,
                     seq: info.inst.seq,

@@ -41,6 +41,11 @@ pub struct InstInfo {
     pub bp_history: u32,
     /// RAS snapshot taken before this branch's prediction (branches only).
     pub bp_ras: Option<Vec<Pc>>,
+    /// Fault-injection marker: a flipped select-critical IQ bit (opcode,
+    /// valid, age tag) makes the entry invisible to issue select, so the
+    /// instruction can never execute — the hang/squash race plays out in
+    /// real pipeline dynamics (see `pipeline::inject`).
+    pub inhibit_issue: bool,
 }
 
 impl InstInfo {
@@ -58,6 +63,7 @@ impl InstInfo {
             mispredicted: false,
             bp_history: 0,
             bp_ras: None,
+            inhibit_issue: false,
         }
     }
 

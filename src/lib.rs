@@ -21,6 +21,9 @@
 //! * [`reliability`] — the paper's contribution: VISA issue, dynamic IQ
 //!   resource allocation (opt1), L2-miss-sensitive allocation (opt2) and
 //!   dynamic vulnerability management (DVM).
+//! * [`faultinject`] — Monte-Carlo single-bit-upset campaigns with
+//!   differential classification (masked / SDC / detected / hang)
+//!   against a golden run; the empirical cross-check of the AVF model.
 //! * [`stats`] — interval statistics, histograms, IPC/harmonic-IPC/PVE.
 //! * [`trace`] — structured pipeline/governor tracing: pluggable sinks,
 //!   Chrome trace-event export, phase/stage wall-clock profiling.
@@ -42,6 +45,8 @@ pub use experiments;
 pub use iq_reliability as reliability;
 pub use mem_hier as mem;
 pub use micro_isa as isa;
+pub use sim_faultinject as faultinject;
+pub use sim_metrics as metrics;
 pub use sim_stats as stats;
 pub use sim_trace as trace;
 pub use smt_sim as sim;

@@ -1,0 +1,105 @@
+//! Differential validation: statistical fault injection vs ACE analysis.
+//!
+//! For several salted workloads, a Monte-Carlo SEU campaign and the
+//! analytical ACE model measure the *same* golden run. The two must
+//! agree — the injection-derived IQ vulnerability interval has to cover
+//! the analytical IQ AVF — and the DVM scheme has to show its benefit
+//! empirically: pooled across salts, strictly fewer injected faults may
+//! survive to an architectural consequence than on the baseline.
+
+use std::sync::Arc;
+
+use smtsim::avf::profiler::profile_and_tag;
+use smtsim::faultinject::{run_campaign, CampaignConfig, CampaignResult};
+use smtsim::reliability::Scheme;
+use smtsim::sim::pipeline::PipelinePolicies;
+use smtsim::sim::{FetchPolicyKind, MachineConfig};
+use smtsim::workloads::{generate_program_salted, model_by_name, Program};
+
+const SALTS: [u64; 3] = [1, 2, 3];
+const IQ_TRIALS: u64 = 150;
+
+/// Hint-tagged CPU-class mix (DVM's online estimator reads the hints).
+fn tagged_mix(salt: u64) -> Vec<Arc<Program>> {
+    ["bzip2", "gcc", "eon", "perlbmk"]
+        .iter()
+        .map(|m| {
+            let raw = Arc::new(generate_program_salted(&model_by_name(m).unwrap(), salt));
+            profile_and_tag(&raw, 60_000, 40_000).0
+        })
+        .collect()
+}
+
+fn campaign(salt: u64, make_policies: &dyn Fn() -> PipelinePolicies) -> CampaignResult {
+    let cfg = CampaignConfig {
+        machine: MachineConfig::table2(),
+        warmup_insts: 60_000,
+        run_cycles: 40_000,
+        watchdog_cycles: 8_000,
+        iq_trials: IQ_TRIALS,
+        rob_trials: 0,
+        rf_trials: 0,
+        ace_window: 40_000,
+        seed: salt,
+    };
+    run_campaign(
+        &cfg,
+        &tagged_mix(salt),
+        make_policies,
+        &smtsim::metrics::Metrics::off(),
+        &smtsim::trace::Tracer::off(),
+    )
+}
+
+#[test]
+fn injection_estimate_brackets_ace_avf_and_dvm_beats_baseline() {
+    let iq_size = MachineConfig::table2().iq_size;
+    let mut pooled_base = (0u64, 0u64);
+    let mut pooled_dvm = (0u64, 0u64);
+
+    for salt in SALTS {
+        let base = campaign(salt, &|| {
+            Scheme::Baseline
+                .policies(FetchPolicyKind::Icount, iq_size)
+                .0
+        });
+        let target = 0.5 * base.ace_max_interval_iq_avf;
+        assert!(target > 0.0, "salt {salt}: golden run saw no IQ AVF");
+        let dvm = campaign(salt, &|| {
+            Scheme::DvmDynamic { target }
+                .policies(FetchPolicyKind::Icount, iq_size)
+                .0
+        });
+
+        for (label, run) in [("baseline", &base), ("DVM", &dvm)] {
+            let iq = run.structure("iq").expect("IQ statistics present");
+            assert_eq!(iq.trials, IQ_TRIALS);
+            assert!(
+                iq.ci95.contains(run.ace_iq_avf),
+                "salt {salt} {label}: ACE IQ AVF {:.4} outside injection CI95 \
+                 [{:.4}, {:.4}] (estimate {:.4}, {} trials)",
+                run.ace_iq_avf,
+                iq.ci95.lo,
+                iq.ci95.hi,
+                iq.avf_estimate,
+                iq.trials
+            );
+        }
+
+        let b = base.structure("iq").unwrap();
+        let d = dvm.structure("iq").unwrap();
+        pooled_base = (pooled_base.0 + b.vulnerable(), pooled_base.1 + b.trials);
+        pooled_dvm = (pooled_dvm.0 + d.vulnerable(), pooled_dvm.1 + d.trials);
+    }
+
+    let base_rate = pooled_base.0 as f64 / pooled_base.1 as f64;
+    let dvm_rate = pooled_dvm.0 as f64 / pooled_dvm.1 as f64;
+    assert!(
+        base_rate > 0.0,
+        "baseline campaigns found no vulnerable faults at all"
+    );
+    assert!(
+        dvm_rate < base_rate,
+        "DVM injected vulnerability {dvm_rate:.4} not strictly below baseline {base_rate:.4}"
+    );
+}
