@@ -12,18 +12,23 @@
 
 use crate::context::ExperimentContext;
 use crate::manifest::BudgetSummary;
-use crate::parallel::parallel_map;
 use crate::report::Rendered;
-use crate::runner::run_scheme_salted;
+use crate::runner::run_scheme_cancellable;
 use iq_reliability::Scheme;
 use serde::{Deserialize, Serialize};
+use sim_harness::{
+    fnv1a, run_journaled, run_supervised, HarnessConfig, HarnessObservers, HarnessStats, JobError,
+    JobKey, QuarantineEntry,
+};
 use sim_stats::{SeedSummary, Table};
 use smt_sim::FetchPolicyKind;
 use std::io;
 use std::path::Path;
 
 /// Bump when the JSON layout changes; [`compare`] refuses mismatches.
-pub const BENCH_SCHEMA_VERSION: u32 = 1;
+/// v2: campaigns run under the `sim-harness` supervisor and the file
+/// gained an explicit `quarantined` section.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
 
 /// One-sided wall-time gate: current mean may exceed baseline by 15 %.
 pub const WALL_TIME_TOLERANCE: f64 = 0.15;
@@ -93,11 +98,17 @@ pub struct BenchBaseline {
     /// numbers from different budgets are not comparable).
     pub budget: BudgetSummary,
     pub exhibits: Vec<BenchExhibit>,
+    /// Jobs the supervisor gave up on (exhausted retries); their samples
+    /// are missing from the exhibit summaries above. Empty on a healthy
+    /// campaign.
+    pub quarantined: Vec<QuarantineEntry>,
 }
 
 impl BenchBaseline {
+    /// Atomic write (`.tmp` + rename): readers and resumed campaigns
+    /// never observe a torn baseline file.
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, serde::json::to_string_pretty(self))
+        sim_harness::atomic_write(path, &serde::json::to_string_pretty(self))
     }
 
     pub fn load(path: &Path) -> io::Result<BenchBaseline> {
@@ -111,58 +122,176 @@ impl BenchBaseline {
     }
 }
 
-/// Run the fixed exhibit set across `seeds` workload salts and digest
-/// the results. Runs fan out across cores; per-exhibit sample order is
-/// restored afterwards so the output is deterministic per (budget,
-/// seeds) regardless of scheduling.
-pub fn run_bench(ctx: &ExperimentContext, seeds: u64) -> BenchBaseline {
+/// The per-job journal payload: the scalar samples one `(case, salt)`
+/// simulation contributes to its exhibit's cross-seed summary. This is
+/// what checkpoint–resume replays, so it must stay serializable and
+/// stable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchSample {
+    /// Index into [`bench_cases`].
+    pub case: u64,
+    pub salt: u64,
+    pub wall_time_s: f64,
+    pub throughput_ipc: f64,
+    pub harmonic_ipc: f64,
+    pub iq_avf: f64,
+}
+
+/// A supervised bench campaign: the (possibly partial) baseline plus
+/// the harness's account of what it took to produce it.
+#[derive(Debug)]
+pub struct BenchCampaign {
+    pub baseline: BenchBaseline,
+    pub stats: HarnessStats,
+    /// True when SIGINT (or an injected shutdown flag) stopped the
+    /// campaign early; the journal holds the completed jobs and a
+    /// re-run with the same journal directory finishes the rest.
+    pub interrupted: bool,
+}
+
+/// Config-hash input for bench job keys: anything that changes the
+/// meaning of a `(case, salt)` result must appear here so stale journal
+/// records are invalidated rather than replayed.
+fn bench_config_hash(ctx: &ExperimentContext, case: &BenchCase) -> u64 {
+    fnv1a(&format!(
+        "bench-v{}|{}|{}|{:?}|{:?}|p{}w{}r{}a{}",
+        BENCH_SCHEMA_VERSION,
+        case.name,
+        case.mix,
+        case.scheme.label(),
+        case.fetch,
+        ctx.params.profile_insts,
+        ctx.params.warmup_insts,
+        ctx.params.run_cycles,
+        ctx.params.ace_window,
+    ))
+}
+
+/// Run the fixed exhibit set across `seeds` workload salts under the
+/// campaign supervisor and digest the results. Runs fan out across the
+/// worker pool; per-exhibit sample order is restored afterwards so the
+/// output is deterministic per (budget, seeds) regardless of
+/// scheduling. With `journal_dir` set, completed jobs are checkpointed
+/// to (and replayed from) `journal_dir/journal.jsonl`.
+pub fn run_bench_supervised(
+    ctx: &ExperimentContext,
+    seeds: u64,
+    cfg: &HarnessConfig,
+    obs: &HarnessObservers,
+    journal_dir: Option<&Path>,
+) -> Result<BenchCampaign, JobError> {
     let seeds = seeds.max(1);
     let cases = bench_cases();
-    let jobs: Vec<(usize, u64)> = (0..cases.len())
+    let jobs: Vec<(JobKey, (usize, u64))> = (0..cases.len())
         .flat_map(|c| (0..seeds).map(move |s| (c, s)))
+        .map(|(c, salt)| {
+            (
+                JobKey::new(
+                    "bench-baseline",
+                    cases[c].name,
+                    salt,
+                    bench_config_hash(ctx, &cases[c]),
+                ),
+                (c, salt),
+            )
+        })
         .collect();
-    let outcomes = parallel_map(jobs, |&(c, salt)| {
+
+    let job = |&(c, salt): &(usize, u64), jctx: &sim_harness::JobCtx| {
         let case = &cases[c];
         let mix = workload_gen::mix_by_name(case.mix)
             .unwrap_or_else(|| panic!("unknown bench mix {}", case.mix));
-        (
-            c,
-            run_scheme_salted(ctx, &mix, case.scheme, case.fetch, salt),
-        )
-    });
+        let out = run_scheme_cancellable(
+            ctx,
+            &mix,
+            case.scheme,
+            case.fetch,
+            salt,
+            Some(jctx.cancel.clone()),
+        );
+        if out.cancelled {
+            // Only the deadline monitor cancels; the supervisor
+            // re-classifies this with the configured limit.
+            return Err(JobError::Deadline { limit_ms: 0 });
+        }
+        if out.deadlocked {
+            return Err(JobError::Watchdog {
+                detail: format!(
+                    "{} salt {salt}: commit watchdog tripped during measurement",
+                    case.name
+                ),
+            });
+        }
+        Ok(BenchSample {
+            case: c as u64,
+            salt,
+            wall_time_s: out.timings.total_s(),
+            throughput_ipc: out.throughput_ipc,
+            harmonic_ipc: out.harmonic_ipc,
+            iq_avf: out.avf.iq_avf,
+        })
+    };
 
+    let outcome = match journal_dir {
+        Some(dir) => run_journaled(dir, jobs, job, cfg, obs)?,
+        None => run_supervised(jobs, job, cfg, obs, |_, _: &BenchSample| {}),
+    };
+
+    // Slot order is case-major, salt-minor, so filtering by case keeps
+    // samples in ascending-salt order — the float summation order the
+    // summaries depend on for cross-run determinism.
+    let samples: Vec<&BenchSample> = outcome.values();
     let exhibits = cases
         .iter()
         .enumerate()
         .map(|(c, case)| {
-            let runs: Vec<_> = outcomes.iter().filter(|(i, _)| *i == c).collect();
-            let col = |f: &dyn Fn(&crate::runner::RunOutcome) -> f64| {
-                SeedSummary::from_samples(&runs.iter().map(|(_, o)| f(o)).collect::<Vec<_>>())
+            let runs: Vec<&&BenchSample> = samples.iter().filter(|s| s.case == c as u64).collect();
+            let col = |f: &dyn Fn(&BenchSample) -> f64| {
+                SeedSummary::from_samples(&runs.iter().map(|s| f(s)).collect::<Vec<_>>())
             };
             BenchExhibit {
                 name: case.name.to_string(),
                 mix: case.mix.to_string(),
                 scheme: case.scheme.label().to_string(),
                 fetch: format!("{:?}", case.fetch),
-                wall_time_s: col(&|o| o.timings.total_s()),
-                throughput_ipc: col(&|o| o.throughput_ipc),
-                harmonic_ipc: col(&|o| o.harmonic_ipc),
-                iq_avf: col(&|o| o.avf.iq_avf),
+                wall_time_s: col(&|s| s.wall_time_s),
+                throughput_ipc: col(&|s| s.throughput_ipc),
+                harmonic_ipc: col(&|s| s.harmonic_ipc),
+                iq_avf: col(&|s| s.iq_avf),
             }
         })
         .collect();
 
-    BenchBaseline {
-        schema_version: BENCH_SCHEMA_VERSION,
-        seeds,
-        budget: BudgetSummary {
-            profile_insts: ctx.params.profile_insts,
-            warmup_insts: ctx.params.warmup_insts,
-            run_cycles: ctx.params.run_cycles,
-            ace_window: ctx.params.ace_window as u64,
+    Ok(BenchCampaign {
+        baseline: BenchBaseline {
+            schema_version: BENCH_SCHEMA_VERSION,
+            seeds,
+            budget: BudgetSummary {
+                profile_insts: ctx.params.profile_insts,
+                warmup_insts: ctx.params.warmup_insts,
+                run_cycles: ctx.params.run_cycles,
+                ace_window: ctx.params.ace_window as u64,
+            },
+            exhibits,
+            quarantined: outcome.quarantine.clone(),
         },
-        exhibits,
-    }
+        stats: outcome.stats,
+        interrupted: outcome.interrupted,
+    })
+}
+
+/// [`run_bench_supervised`] with default supervision, no journal, and
+/// no observers — the historical entry point.
+pub fn run_bench(ctx: &ExperimentContext, seeds: u64) -> BenchBaseline {
+    run_bench_supervised(
+        ctx,
+        seeds,
+        &HarnessConfig::default(),
+        &HarnessObservers::off(),
+        None,
+    )
+    .expect("journal-less bench campaign cannot fail on IO")
+    .baseline
 }
 
 /// The campaign-report table: one row per exhibit, `mean ± ci95` cells.
@@ -189,7 +318,7 @@ pub fn render(b: &BenchBaseline) -> Rendered {
             e.iq_avf.display(4),
         ]);
     }
-    Rendered::new(
+    let mut rendered = Rendered::new(
         format!(
             "Bench baseline (schema v{}, {} seed(s)/exhibit)",
             b.schema_version, b.seeds
@@ -199,7 +328,21 @@ pub fn render(b: &BenchBaseline) -> Rendered {
     .note(
         "cells are cross-seed mean ±CI95 (Student-t) over independently salted workloads"
             .to_string(),
-    )
+    );
+    if !b.quarantined.is_empty() {
+        let mut lines: Vec<String> = b
+            .quarantined
+            .iter()
+            .map(|q| format!("{} ({} failure(s): {})", q.key, q.failures, q.error))
+            .collect();
+        lines.sort();
+        rendered = rendered.note(format!(
+            "QUARANTINED {} job(s), samples missing from the summaries: {}",
+            b.quarantined.len(),
+            lines.join("; ")
+        ));
+    }
+    rendered
 }
 
 /// Compare `current` against a recorded `baseline`. Returns one line
@@ -219,6 +362,12 @@ pub fn compare(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<String>
             baseline.budget, current.budget
         ));
         return out;
+    }
+    if !current.quarantined.is_empty() {
+        out.push(format!(
+            "current run quarantined {} job(s); its summaries are missing samples and cannot be compared",
+            current.quarantined.len()
+        ));
     }
     for base in &baseline.exhibits {
         let Some(cur) = current.exhibit(&base.name) else {
@@ -316,6 +465,7 @@ mod tests {
                 ace_window: 40_000,
             },
             exhibits: vec![exhibit("fig2-cpu-baseline"), exhibit("dvm-mem")],
+            quarantined: Vec::new(),
         }
     }
 
@@ -419,5 +569,128 @@ mod tests {
         assert!(text.contains("fig2-cpu-baseline"));
         assert!(text.contains("±"), "CI95 rendered: {text}");
         assert!(text.contains("3 seed(s)"));
+        assert!(!text.contains("QUARANTINED"));
+    }
+
+    #[test]
+    fn quarantined_jobs_surface_in_report_and_comparison() {
+        let b = baseline();
+        let mut partial = b.clone();
+        partial.quarantined.push(sim_harness::QuarantineEntry {
+            key: sim_harness::JobKey::new("bench-baseline", "dvm-mem", 2, 7),
+            failures: 3,
+            error: JobError::Panic {
+                message: "boom".into(),
+            },
+        });
+        let text = render(&partial).to_text();
+        assert!(text.contains("QUARANTINED 1 job(s)"), "{text}");
+        assert!(text.contains("dvm-mem"), "{text}");
+        let r = compare(&b, &partial);
+        assert!(
+            r.iter().any(|l| l.contains("quarantined 1 job(s)")),
+            "{r:?}"
+        );
+        // Roundtrip: the quarantined section survives the file format.
+        let path = std::env::temp_dir().join("smtsim_bench_quarantine_roundtrip.json");
+        partial.write(&path).unwrap();
+        let back = BenchBaseline::load(&path).unwrap();
+        assert_eq!(back, partial);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// End-to-end resilience acceptance: a campaign interrupted by a
+    /// (simulated) SIGINT resumes from its journal and produces the
+    /// same simulation results as an uninterrupted campaign — only the
+    /// nondeterministic host wall-time may differ.
+    #[test]
+    fn interrupted_campaign_resumes_to_matching_baseline() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // Tiny budget: this test runs 4 cases × 1 salt, twice over.
+        let mut params = crate::context::ExperimentParams::fast();
+        params.warmup_insts = 20_000;
+        params.run_cycles = 20_000;
+        let cfg = HarnessConfig {
+            jobs: Some(1),
+            ..HarnessConfig::default()
+        };
+
+        let clean_ctx = ExperimentContext::new(params);
+        let clean = run_bench_supervised(&clean_ctx, 1, &cfg, &HarnessObservers::off(), None)
+            .unwrap()
+            .baseline;
+
+        let dir = std::env::temp_dir().join("smtsim_bench_resume_test");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // "Ctrl-C" after the first job completes: a shutdown flag the
+        // supervisor observes between jobs.
+        let flag = Arc::new(AtomicBool::new(false));
+        let obs = HarnessObservers {
+            metrics: sim_metrics::Metrics::new(),
+            tracer: sim_trace::Tracer::off(),
+            shutdown: Some(Arc::clone(&flag)),
+        };
+        let int_ctx = ExperimentContext::new(params);
+        let stop = Arc::clone(&flag);
+        // Flip the flag from a watcher thread once the journal gains
+        // its first record (i.e. one job finished).
+        let journal = dir.join("journal.jsonl");
+        let watcher = std::thread::spawn(move || {
+            for _ in 0..2000 {
+                if std::fs::metadata(&journal)
+                    .map(|m| m.len() > 0)
+                    .unwrap_or(false)
+                {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        let first = run_bench_supervised(&int_ctx, 1, &cfg, &obs, Some(&dir)).unwrap();
+        watcher.join().unwrap();
+        assert!(first.interrupted, "campaign saw the shutdown request");
+        assert!(first.stats.skipped > 0, "some jobs were never claimed");
+        let resumed_metric = obs.metrics.snapshot();
+        assert!(
+            resumed_metric
+                .counter("harness.jobs_completed")
+                .unwrap_or(0)
+                >= 1
+        );
+
+        // Resume: same journal directory, no interruption this time.
+        let resume_ctx = ExperimentContext::new(params);
+        let obs2 = HarnessObservers {
+            metrics: sim_metrics::Metrics::new(),
+            tracer: sim_trace::Tracer::off(),
+            shutdown: Some(Arc::new(AtomicBool::new(false))),
+        };
+        let resumed = run_bench_supervised(&resume_ctx, 1, &cfg, &obs2, Some(&dir)).unwrap();
+        assert!(!resumed.interrupted);
+        assert!(
+            resumed.stats.resumed >= 1,
+            "journal replayed: {:?}",
+            resumed.stats
+        );
+        let snap = obs2.metrics.snapshot();
+        assert_eq!(
+            snap.counter("harness.jobs_resumed"),
+            Some(resumed.stats.resumed)
+        );
+
+        // Identical simulation results; wall time is host noise, so
+        // blank it on both sides before comparing.
+        let strip = |mut b: BenchBaseline| {
+            for e in &mut b.exhibits {
+                e.wall_time_s = SeedSummary::from_samples(&[]);
+            }
+            b
+        };
+        assert_eq!(strip(resumed.baseline), strip(clean));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -21,6 +21,10 @@ use crate::report::Rendered;
 use iq_reliability::Scheme;
 use serde::{Deserialize, Serialize};
 use sim_faultinject::{run_campaign, CampaignConfig, CampaignResult};
+use sim_harness::{
+    fnv1a, run_journaled, run_supervised, HarnessConfig, HarnessObservers, HarnessStats, JobError,
+    JobKey, QuarantineEntry,
+};
 use sim_metrics::Metrics;
 use sim_stats::Table;
 use sim_trace::chrome::ChromeTraceSink;
@@ -30,7 +34,8 @@ use std::io;
 use std::path::Path;
 
 /// Bump when the report layout changes incompatibly.
-pub const FAULT_SCHEMA_VERSION: u32 = 1;
+/// v2: added `quarantined` (supervised campaigns may complete partially).
+pub const FAULT_SCHEMA_VERSION: u32 = 2;
 
 /// One campaign of the sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -52,11 +57,14 @@ pub struct FaultInjectReport {
     pub rob_trials: u64,
     pub rf_trials: u64,
     pub campaigns: Vec<SchemeCampaign>,
+    /// Salts whose injection pair kept failing and was sidelined by the
+    /// supervisor; their campaigns are absent from `campaigns`.
+    pub quarantined: Vec<QuarantineEntry>,
 }
 
 impl FaultInjectReport {
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        std::fs::write(path, serde::json::to_string_pretty(self))
+        sim_harness::atomic_write(path, &serde::json::to_string_pretty(self))
     }
 
     pub fn load(path: &Path) -> io::Result<FaultInjectReport> {
@@ -107,77 +115,171 @@ fn export_observers(
     }
 }
 
-/// Run the full sweep: `seeds` salts × {baseline, DVM} campaigns with
-/// `trials` IQ injections each (half that for ROB and RF).
-pub fn run_fault_inject(ctx: &ExperimentContext, seeds: u64, trials: u64) -> FaultInjectReport {
-    let mix = workload_gen::mix_by_name("CPU-A").expect("CPU-A mix exists");
-    // Hang budget: a fraction of the measured window, bounded so tiny
-    // smoke budgets still leave the watchdog room to fire.
-    let watchdog = (ctx.params.run_cycles / 10).clamp(5_000, 20_000);
-    let mut campaigns = Vec::new();
-    for salt in 0..seeds {
-        let programs = ctx.mix_programs_salted(&mix, salt);
-        let cfg = CampaignConfig {
-            machine: ctx.machine.clone(),
-            warmup_insts: ctx.params.warmup_insts,
-            run_cycles: ctx.params.run_cycles,
-            watchdog_cycles: watchdog,
-            iq_trials: trials,
-            rob_trials: trials / 2,
-            rf_trials: trials / 2,
-            ace_window: ctx.params.ace_window,
-            seed: salt,
-        };
+/// What one supervised job produces: the {baseline, DVM} campaign pair
+/// for a single salt. The pair is one job (not two) because the DVM
+/// reliability target is derived from that salt's baseline golden run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaltPair {
+    pub baseline: SchemeCampaign,
+    pub dvm: SchemeCampaign,
+}
 
-        let scheme = Scheme::Baseline;
-        let (metrics, tracer) = observers(ctx, salt, scheme.label());
-        let baseline = run_campaign(
-            &cfg,
-            &programs,
-            &|| {
-                scheme
-                    .policies(FetchPolicyKind::Icount, ctx.machine.iq_size)
-                    .0
-            },
-            &metrics,
-            &tracer,
-        );
-        export_observers(ctx, salt, scheme.label(), &metrics, &tracer);
+/// A supervised fault-injection campaign: the report plus how the
+/// harness got there.
+#[derive(Debug, Clone)]
+pub struct FaultInjectCampaign {
+    pub report: FaultInjectReport,
+    pub stats: HarnessStats,
+    pub interrupted: bool,
+}
 
-        let target = 0.5 * baseline.ace_max_interval_iq_avf;
-        let dvm = Scheme::DvmDynamic { target };
-        let (metrics, tracer) = observers(ctx, salt, dvm.label());
-        let dvm_result = run_campaign(
-            &cfg,
-            &programs,
-            &|| dvm.policies(FetchPolicyKind::Icount, ctx.machine.iq_size).0,
-            &metrics,
-            &tracer,
-        );
-        export_observers(ctx, salt, dvm.label(), &metrics, &tracer);
+/// Everything that determines a salt-pair's result, folded into the
+/// journal key so a resumed campaign never replays records produced
+/// under different simulation parameters.
+fn fault_config_hash(ctx: &ExperimentContext, trials: u64, watchdog: u64) -> u64 {
+    let p = &ctx.params;
+    fnv1a(&format!(
+        "fault-v{FAULT_SCHEMA_VERSION}|CPU-A|t{trials}|w{watchdog}|p{}w{}r{}a{}|iq{}",
+        p.profile_insts, p.warmup_insts, p.run_cycles, p.ace_window, ctx.machine.iq_size
+    ))
+}
 
-        campaigns.push(SchemeCampaign {
+/// Simulate one salt's {baseline, DVM} pair. This is the unit of
+/// supervision: it runs under `catch_unwind` on a worker thread.
+///
+/// `run_campaign` has no cancel-token plumbing, so a wall-clock
+/// deadline *classifies* an overrunning pair (via the monitor's
+/// deadline flag) but cannot interrupt it mid-simulation; the simulated
+/// commit watchdog inside the campaign bounds genuine hangs.
+fn run_salt_pair(
+    ctx: &ExperimentContext,
+    mix: &workload_gen::WorkloadMix,
+    salt: u64,
+    trials: u64,
+    watchdog: u64,
+) -> SaltPair {
+    let programs = ctx.mix_programs_salted(mix, salt);
+    let cfg = CampaignConfig {
+        machine: ctx.machine.clone(),
+        warmup_insts: ctx.params.warmup_insts,
+        run_cycles: ctx.params.run_cycles,
+        watchdog_cycles: watchdog,
+        iq_trials: trials,
+        rob_trials: trials / 2,
+        rf_trials: trials / 2,
+        ace_window: ctx.params.ace_window,
+        seed: salt,
+    };
+
+    let scheme = Scheme::Baseline;
+    let (metrics, tracer) = observers(ctx, salt, scheme.label());
+    let baseline = run_campaign(
+        &cfg,
+        &programs,
+        &|| {
+            scheme
+                .policies(FetchPolicyKind::Icount, ctx.machine.iq_size)
+                .0
+        },
+        &metrics,
+        &tracer,
+    );
+    export_observers(ctx, salt, scheme.label(), &metrics, &tracer);
+
+    let target = 0.5 * baseline.ace_max_interval_iq_avf;
+    let dvm = Scheme::DvmDynamic { target };
+    let (metrics, tracer) = observers(ctx, salt, dvm.label());
+    let dvm_result = run_campaign(
+        &cfg,
+        &programs,
+        &|| dvm.policies(FetchPolicyKind::Icount, ctx.machine.iq_size).0,
+        &metrics,
+        &tracer,
+    );
+    export_observers(ctx, salt, dvm.label(), &metrics, &tracer);
+
+    SaltPair {
+        baseline: SchemeCampaign {
             salt,
             scheme: scheme.label().to_string(),
             target: None,
             result: baseline,
-        });
-        campaigns.push(SchemeCampaign {
+        },
+        dvm: SchemeCampaign {
             salt,
             scheme: dvm.label().to_string(),
             target: Some(target),
             result: dvm_result,
-        });
+        },
     }
-    FaultInjectReport {
-        schema_version: FAULT_SCHEMA_VERSION,
-        mix: mix.name.clone(),
+}
+
+/// Run the sweep under supervision: one job per salt, each producing a
+/// [`SaltPair`]. With a journal directory, completed salts recorded by
+/// an earlier (interrupted) run are replayed from disk instead of
+/// re-simulated.
+pub fn run_fault_inject_supervised(
+    ctx: &ExperimentContext,
+    seeds: u64,
+    trials: u64,
+    cfg: &HarnessConfig,
+    obs: &HarnessObservers,
+    journal_dir: Option<&Path>,
+) -> Result<FaultInjectCampaign, JobError> {
+    let mix = workload_gen::mix_by_name("CPU-A").expect("CPU-A mix exists");
+    // Hang budget: a fraction of the measured window, bounded so tiny
+    // smoke budgets still leave the watchdog room to fire.
+    let watchdog = (ctx.params.run_cycles / 10).clamp(5_000, 20_000);
+    let hash = fault_config_hash(ctx, trials, watchdog);
+    let items: Vec<(JobKey, u64)> = (0..seeds)
+        .map(|salt| (JobKey::new("fault-inject", "pair", salt, hash), salt))
+        .collect();
+    let job = |salt: &u64, _jctx: &sim_harness::JobCtx| -> Result<SaltPair, JobError> {
+        Ok(run_salt_pair(ctx, &mix, *salt, trials, watchdog))
+    };
+    let outcome = match journal_dir {
+        Some(dir) => run_journaled(dir, items, job, cfg, obs)?,
+        None => run_supervised(items, job, cfg, obs, |_, _: &SaltPair| {}),
+    };
+
+    // Salt order is the input order, so campaigns stay sorted by salt
+    // with baseline before DVM — identical to the sequential layout.
+    let mut campaigns = Vec::new();
+    for pair in outcome.values() {
+        campaigns.push(pair.baseline.clone());
+        campaigns.push(pair.dvm.clone());
+    }
+    let mut quarantined = outcome.quarantine.clone();
+    quarantined.sort_by(|a, b| a.key.cmp(&b.key));
+    Ok(FaultInjectCampaign {
+        report: FaultInjectReport {
+            schema_version: FAULT_SCHEMA_VERSION,
+            mix: mix.name.clone(),
+            seeds,
+            iq_trials: trials,
+            rob_trials: trials / 2,
+            rf_trials: trials / 2,
+            campaigns,
+            quarantined,
+        },
+        stats: outcome.stats,
+        interrupted: outcome.interrupted,
+    })
+}
+
+/// Run the full sweep: `seeds` salts × {baseline, DVM} campaigns with
+/// `trials` IQ injections each (half that for ROB and RF).
+pub fn run_fault_inject(ctx: &ExperimentContext, seeds: u64, trials: u64) -> FaultInjectReport {
+    run_fault_inject_supervised(
+        ctx,
         seeds,
-        iq_trials: trials,
-        rob_trials: trials / 2,
-        rf_trials: trials / 2,
-        campaigns,
-    }
+        trials,
+        &HarnessConfig::default(),
+        &HarnessObservers::off(),
+        None,
+    )
+    .expect("journal-less fault-inject campaign cannot fail on IO")
+    .report
 }
 
 pub fn render(report: &FaultInjectReport) -> Rendered {
@@ -216,20 +318,39 @@ pub fn render(report: &FaultInjectReport) -> Rendered {
             ]);
         }
     }
-    Rendered::new(
+    let mut r = Rendered::new(
         format!(
             "Fault injection vs ACE analysis ({}, {} salt(s), {} IQ trials/campaign)",
             report.mix, report.seeds, report.iq_trials
         ),
         t,
     )
-    .note("inj. AVF = non-masked fraction of uniform (cycle, entry, bit) SEU trials; agreement means the analytical AVF lies inside the injection Wilson interval")
+    .note("inj. AVF = non-masked fraction of uniform (cycle, entry, bit) SEU trials; agreement means the analytical AVF lies inside the injection Wilson interval");
+    if !report.quarantined.is_empty() {
+        let keys: Vec<String> = report
+            .quarantined
+            .iter()
+            .map(|q| format!("{} ({} failure(s): {})", q.key, q.failures, q.error))
+            .collect();
+        r = r.note(format!(
+            "QUARANTINED {} salt(s) — campaigns missing above: {}",
+            report.quarantined.len(),
+            keys.join("; ")
+        ));
+    }
+    r
 }
 
 /// The `--check-avf` gate. Returns human-readable failures (empty =
 /// pass).
 pub fn check(report: &FaultInjectReport) -> Vec<String> {
     let mut failures = Vec::new();
+    for q in &report.quarantined {
+        failures.push(format!(
+            "quarantined: {} after {} failure(s): {}",
+            q.key, q.failures, q.error
+        ));
+    }
     let mut pooled: std::collections::HashMap<&str, (u64, u64)> = Default::default();
     for c in &report.campaigns {
         let Some(iq) = c.result.structure("iq") else {
@@ -326,9 +447,68 @@ mod tests {
             rob_trials: 0,
             rf_trials: 0,
             campaigns: Vec::new(),
+            quarantined: Vec::new(),
         };
         let failures = check(&report);
         assert_eq!(failures.len(), 1);
         assert!(failures[0].contains("missing baseline or DVM"));
+    }
+
+    #[test]
+    fn check_flags_quarantined_salts() {
+        let report = FaultInjectReport {
+            schema_version: FAULT_SCHEMA_VERSION,
+            mix: "CPU-A".into(),
+            seeds: 1,
+            iq_trials: 0,
+            rob_trials: 0,
+            rf_trials: 0,
+            campaigns: Vec::new(),
+            quarantined: vec![sim_harness::QuarantineEntry {
+                key: sim_harness::JobKey::new("fault-inject", "pair", 0, 1),
+                failures: 3,
+                error: sim_harness::JobError::Watchdog {
+                    detail: "no commits".into(),
+                },
+            }],
+        };
+        let failures = check(&report);
+        assert!(
+            failures.iter().any(|f| f.contains("quarantined")),
+            "{failures:?}"
+        );
+        let text = render(&report).to_string();
+        assert!(text.contains("QUARANTINED 1 salt(s)"), "{text}");
+    }
+
+    #[test]
+    fn journaled_sweep_resumes_without_resimulating() {
+        let dir = std::env::temp_dir().join("smtsim_faultinject_resume_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = HarnessConfig {
+            jobs: Some(1),
+            ..HarnessConfig::default()
+        };
+        let ctx = tiny_ctx();
+        let first =
+            run_fault_inject_supervised(&ctx, 1, 8, &cfg, &HarnessObservers::off(), Some(&dir))
+                .unwrap();
+        assert!(!first.interrupted);
+        assert_eq!(first.stats.completed, 1);
+        assert_eq!(first.stats.resumed, 0);
+
+        // Second run over the same journal: the salt replays from disk.
+        let ctx2 = tiny_ctx();
+        let second =
+            run_fault_inject_supervised(&ctx2, 1, 8, &cfg, &HarnessObservers::off(), Some(&dir))
+                .unwrap();
+        assert_eq!(second.stats.resumed, 1, "{:?}", second.stats);
+        assert_eq!(second.stats.completed, 0, "nothing re-simulated");
+        assert_eq!(
+            serde::json::to_string(&second.report),
+            serde::json::to_string(&first.report),
+            "replayed report must match the simulated one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,13 +1,15 @@
 //! CLI: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--fast] [--csv DIR] [--manifest DIR] [--trace DIR]
-//!             [--metrics DIR] [EXHIBIT...]
+//! experiments [--fast] [--jobs N] [--csv DIR] [--manifest DIR]
+//!             [--trace DIR] [--metrics DIR] [EXHIBIT...]
 //! experiments --list
-//! experiments bench-baseline [--seeds N] [--out FILE]
-//!             [--check-baseline FILE] [--metrics DIR]
-//! experiments fault-inject [--fast] [--seeds N] [--trials N]
-//!             [--out FILE] [--check-avf] [--trace DIR] [--metrics DIR]
+//! experiments bench-baseline [--seeds N] [--jobs N] [--out FILE]
+//!             [--check-baseline FILE] [--resume DIR] [--deadline-s N]
+//!             [--trace DIR] [--metrics DIR]
+//! experiments fault-inject [--fast] [--seeds N] [--trials N] [--jobs N]
+//!             [--out FILE] [--check-avf] [--resume DIR] [--deadline-s N]
+//!             [--trace DIR] [--metrics DIR]
 //! ```
 //!
 //! With no exhibit arguments, everything runs (`all`). `--fast` uses the
@@ -24,30 +26,52 @@
 //!
 //! `--list` prints the exhibit catalog (name + description) and exits.
 //!
+//! `--jobs N` sets the simulation worker-pool size for all parallel
+//! fan-out (default: `available_parallelism`; use `--jobs 1` on
+//! single-core hosts).
+//!
 //! `bench-baseline` runs the fixed regression exhibit set over `--seeds`
 //! workload salts (default 3) and prints the cross-seed report;
 //! `--out FILE` records the schema-versioned baseline JSON and
-//! `--check-baseline FILE` compares against a recorded one, exiting 1 on
+//! `--check-baseline FILE` compares against a recorded one, failing on
 //! any wall-time (>15 %) or simulation-metric (>2 % beyond seed noise)
 //! regression.
 //!
 //! `fault-inject` runs Monte-Carlo SEU campaigns (baseline and DVM) over
 //! `--seeds` workload salts with `--trials` IQ injections each and
 //! prints the per-structure outcome table; `--out FILE` records the
-//! campaign JSON and `--check-avf` exits 1 unless the ACE-analysis IQ
+//! campaign JSON and `--check-avf` fails unless the ACE-analysis IQ
 //! AVF falls inside every campaign's injection Wilson interval *and*
 //! DVM measures strictly less pooled IQ vulnerability than baseline.
 //!
-//! Unknown exhibit names are rejected up front (exit code 2) before any
-//! simulation starts; repeated exhibit names run once.
+//! Both campaign subcommands run under the `sim-harness` supervisor:
+//! `--resume DIR` keeps a checkpoint journal in DIR and replays already
+//! completed jobs on re-run; `--deadline-s N` cancels any single job
+//! after N wall-clock seconds; a SIGINT drains in-flight jobs, flushes
+//! the journal and `DIR/campaign.json`, then exits 130 (a second SIGINT
+//! aborts immediately).
+//!
+//! Exit codes: `0` success, `1` usage error (bad flags or unknown
+//! exhibits — rejected up front before any simulation starts), `2`
+//! campaign completed but quarantined at least one job, `3` fatal
+//! (I/O failure or a `--check-*` gate regression), `130` interrupted.
 
 use experiments::context::{ExperimentContext, ExperimentParams};
+use experiments::manifest::CampaignManifest;
 use experiments::{bench, exhibits, faultinject};
-use std::path::PathBuf;
-use std::time::Instant;
+use sim_harness::{HarnessConfig, HarnessObservers, HarnessStats, QuarantineEntry};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Usage error: bad flags, unknown exhibits.
+const EXIT_USAGE: i32 = 1;
+/// The campaign finished but quarantined at least one job.
+const EXIT_PARTIAL: i32 = 2;
+/// I/O failure or a `--check-*` gate regression.
+const EXIT_FATAL: i32 = 3;
 
 /// Flags that consume the following argument.
-const VALUE_FLAGS: [&str; 8] = [
+const VALUE_FLAGS: [&str; 11] = [
     "--csv",
     "--manifest",
     "--trace",
@@ -56,9 +80,13 @@ const VALUE_FLAGS: [&str; 8] = [
     "--check-baseline",
     "--seeds",
     "--trials",
+    "--jobs",
+    "--resume",
+    "--deadline-s",
 ];
 
 fn main() {
+    sim_harness::signal::install_sigint_handler();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
         print!("{}", exhibits::list_text());
@@ -75,6 +103,23 @@ fn main() {
     let manifest_dir = dir_flag("--manifest");
     let trace_dir = dir_flag("--trace");
     let metrics_dir = dir_flag("--metrics");
+    match value_of("--jobs").map(|s| s.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => sim_harness::set_default_jobs(n),
+        None => {}
+        bad => {
+            eprintln!("--jobs wants a positive integer, got {bad:?}");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+    let deadline = match value_of("--deadline-s").map(|s| s.parse::<u64>()) {
+        Some(Ok(n)) if n >= 1 => Some(Duration::from_secs(n)),
+        None => None,
+        bad => {
+            eprintln!("--deadline-s wants a positive integer, got {bad:?}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    let resume_dir = dir_flag("--resume");
 
     let mut skip_next = false;
     let requested: Vec<&str> = args
@@ -97,14 +142,14 @@ fn main() {
         let extra: Vec<&str> = requested[1..].to_vec();
         if !extra.is_empty() {
             eprintln!("bench-baseline takes no exhibit arguments: {extra:?}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
         let seeds = match value_of("--seeds").map(|s| s.parse::<u64>()) {
             Some(Ok(n)) if n >= 1 => n,
             None => 3,
             bad => {
                 eprintln!("--seeds wants a positive integer, got {bad:?}");
-                std::process::exit(2);
+                std::process::exit(EXIT_USAGE);
             }
         };
         run_bench_baseline(
@@ -112,6 +157,9 @@ fn main() {
             dir_flag("--out"),
             dir_flag("--check-baseline"),
             metrics_dir,
+            trace_dir,
+            resume_dir,
+            deadline,
         );
         return;
     }
@@ -120,7 +168,7 @@ fn main() {
         let extra: Vec<&str> = requested[1..].to_vec();
         if !extra.is_empty() {
             eprintln!("fault-inject takes no exhibit arguments: {extra:?}");
-            std::process::exit(2);
+            std::process::exit(EXIT_USAGE);
         }
         let positive = |flag: &str, default: u64| -> u64 {
             match value_of(flag).map(|s| s.parse::<u64>()) {
@@ -128,7 +176,7 @@ fn main() {
                 None => default,
                 bad => {
                     eprintln!("{flag} wants a positive integer, got {bad:?}");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE);
                 }
             }
         };
@@ -142,6 +190,8 @@ fn main() {
             args.iter().any(|a| a == "--check-avf"),
             trace_dir,
             metrics_dir,
+            resume_dir,
+            deadline,
         );
         return;
     }
@@ -160,7 +210,7 @@ fn main() {
         }
         let names: Vec<&str> = exhibits::EXHIBITS.iter().map(|e| e.name).collect();
         eprintln!("known exhibits: {} all", names.join(" "));
-        std::process::exit(2);
+        std::process::exit(EXIT_USAGE);
     }
 
     let wanted: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
@@ -268,13 +318,106 @@ fn main() {
     }
 }
 
-/// The `bench-baseline` subcommand: run, report, optionally record
-/// and/or gate against a recorded baseline.
+/// Harness observers for a campaign subcommand: a live metrics registry
+/// (so `harness.*` counters are always collected) and a Chrome tracer
+/// for job lifecycle events when `--trace DIR` is given.
+fn campaign_observers(trace_dir: Option<&Path>, name: &str) -> HarnessObservers {
+    let tracer = match trace_dir {
+        Some(dir) if std::fs::create_dir_all(dir).is_ok() => {
+            let path = dir.join(format!("harness_{name}.trace.json"));
+            sim_trace::Tracer::new(sim_trace::chrome::ChromeTraceSink::new(path))
+        }
+        _ => sim_trace::Tracer::off(),
+    };
+    HarnessObservers {
+        metrics: sim_metrics::Metrics::new(),
+        tracer,
+        shutdown: None, // None → the process SIGINT flag
+    }
+}
+
+/// Post-campaign bookkeeping shared by `bench-baseline` and
+/// `fault-inject`: print the supervision summary, export harness
+/// metrics/traces, write `DIR/campaign.json`, and translate the
+/// campaign state into the process exit code. Returns the code the
+/// subcommand should exit with after its own reporting (0 or
+/// EXIT_PARTIAL); exits directly when the campaign was interrupted.
+fn finish_campaign(
+    name: &str,
+    interrupted: bool,
+    stats: &HarnessStats,
+    quarantined: &[QuarantineEntry],
+    resume_dir: Option<&Path>,
+    metrics_dir: Option<&Path>,
+    obs: &HarnessObservers,
+) -> i32 {
+    println!(
+        "  [harness: {} completed ({} from journal), {} retries, {} quarantined, {} skipped]",
+        stats.completed + stats.resumed,
+        stats.resumed,
+        stats.retries,
+        stats.quarantined,
+        stats.skipped
+    );
+    obs.tracer.flush();
+    if let Some(dir) = metrics_dir {
+        let snapshot = obs.metrics.snapshot();
+        let export = std::fs::create_dir_all(dir).and_then(|_| {
+            sim_harness::atomic_write(
+                &dir.join(format!("harness_{name}.prom")),
+                &sim_metrics::export::render_prometheus(&snapshot),
+            )
+        });
+        if let Err(e) = export {
+            eprintln!("experiments: harness metrics export failed: {e}");
+        }
+    }
+    let exit_code = if interrupted {
+        sim_harness::signal::EXIT_INTERRUPTED
+    } else if !quarantined.is_empty() {
+        EXIT_PARTIAL
+    } else {
+        0
+    };
+    if let Some(dir) = resume_dir {
+        let manifest = CampaignManifest {
+            campaign: name.to_string(),
+            interrupted,
+            exit_code: exit_code as u32,
+            stats: *stats,
+            quarantined: quarantined.to_vec(),
+        };
+        match manifest.write(dir) {
+            Ok(path) => println!("  [campaign manifest -> {}]", path.display()),
+            Err(e) => eprintln!("experiments: cannot write campaign manifest: {e}"),
+        }
+    }
+    if interrupted {
+        match resume_dir {
+            Some(dir) => eprintln!(
+                "{name}: interrupted; progress journaled — re-run with --resume {} to continue",
+                dir.display()
+            ),
+            None => eprintln!(
+                "{name}: interrupted; re-run with --resume DIR to make campaigns resumable"
+            ),
+        }
+        std::process::exit(exit_code);
+    }
+    exit_code
+}
+
+/// The `bench-baseline` subcommand: run under supervision, report,
+/// optionally record and/or gate against a recorded baseline.
+#[allow(clippy::too_many_arguments)]
 fn run_bench_baseline(
     seeds: u64,
     out: Option<PathBuf>,
     check: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
+    trace_dir: Option<PathBuf>,
+    resume_dir: Option<PathBuf>,
+    deadline: Option<Duration>,
 ) {
     let mut ctx = ExperimentContext::new(ExperimentParams::bench());
     if let Some(dir) = &metrics_dir {
@@ -287,18 +430,40 @@ fn run_bench_baseline(
         ctx.params.warmup_insts,
         ctx.params.run_cycles
     );
+    let cfg = HarnessConfig {
+        deadline,
+        ..HarnessConfig::default()
+    };
+    let obs = campaign_observers(trace_dir.as_deref(), "bench");
     let t0 = Instant::now();
-    let current = bench::run_bench(&ctx, seeds);
-    println!("{}", bench::render(&current));
+    let campaign = match bench::run_bench_supervised(&ctx, seeds, &cfg, &obs, resume_dir.as_deref())
+    {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench-baseline: campaign journal failure: {e}");
+            std::process::exit(EXIT_FATAL);
+        }
+    };
     println!("  [bench ran in {:.1?}]", t0.elapsed());
     ctx.drain_manifests(); // bench digests outcomes itself
+    let code = finish_campaign(
+        "bench-baseline",
+        campaign.interrupted,
+        &campaign.stats,
+        &campaign.baseline.quarantined,
+        resume_dir.as_deref(),
+        metrics_dir.as_deref(),
+        &obs,
+    );
+    let current = campaign.baseline;
+    println!("{}", bench::render(&current));
 
     if let Some(path) = &out {
         match current.write(path) {
             Ok(()) => println!("  [baseline -> {}]", path.display()),
             Err(e) => {
                 eprintln!("cannot write baseline {}: {e}", path.display());
-                std::process::exit(1);
+                std::process::exit(EXIT_FATAL);
             }
         }
     }
@@ -307,7 +472,7 @@ fn run_bench_baseline(
             Ok(b) => b,
             Err(e) => {
                 eprintln!("cannot load baseline {}: {e}", path.display());
-                std::process::exit(1);
+                std::process::exit(EXIT_FATAL);
             }
         };
         let regressions = bench::compare(&baseline, &current);
@@ -322,13 +487,15 @@ fn run_bench_baseline(
             for r in &regressions {
                 eprintln!("  - {r}");
             }
-            std::process::exit(1);
+            std::process::exit(EXIT_FATAL);
         }
     }
+    std::process::exit(code);
 }
 
-/// The `fault-inject` subcommand: run the campaigns, report, optionally
-/// record JSON and/or gate on model agreement.
+/// The `fault-inject` subcommand: run the campaigns under supervision,
+/// report, optionally record JSON and/or gate on model agreement.
+#[allow(clippy::too_many_arguments)]
 fn run_fault_inject(
     seeds: u64,
     trials: u64,
@@ -337,6 +504,8 @@ fn run_fault_inject(
     check_avf: bool,
     trace_dir: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
+    resume_dir: Option<PathBuf>,
+    deadline: Option<Duration>,
 ) {
     let params = if fast {
         ExperimentParams::fast()
@@ -358,17 +527,45 @@ fn run_fault_inject(
         ctx.params.warmup_insts,
         ctx.params.run_cycles
     );
+    let cfg = HarnessConfig {
+        deadline,
+        ..HarnessConfig::default()
+    };
+    let obs = campaign_observers(trace_dir.as_deref(), "inject");
     let t0 = Instant::now();
-    let report = faultinject::run_fault_inject(&ctx, seeds, trials);
-    println!("{}", faultinject::render(&report));
+    let campaign = match faultinject::run_fault_inject_supervised(
+        &ctx,
+        seeds,
+        trials,
+        &cfg,
+        &obs,
+        resume_dir.as_deref(),
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fault-inject: campaign journal failure: {e}");
+            std::process::exit(EXIT_FATAL);
+        }
+    };
     println!("  [fault-inject ran in {:.1?}]", t0.elapsed());
+    let code = finish_campaign(
+        "fault-inject",
+        campaign.interrupted,
+        &campaign.stats,
+        &campaign.report.quarantined,
+        resume_dir.as_deref(),
+        metrics_dir.as_deref(),
+        &obs,
+    );
+    let report = campaign.report;
+    println!("{}", faultinject::render(&report));
 
     if let Some(path) = &out {
         match report.write(path) {
             Ok(()) => println!("  [campaign report -> {}]", path.display()),
             Err(e) => {
                 eprintln!("cannot write campaign report {}: {e}", path.display());
-                std::process::exit(1);
+                std::process::exit(EXIT_FATAL);
             }
         }
     }
@@ -384,7 +581,8 @@ fn run_fault_inject(
             for f in &failures {
                 eprintln!("  - {f}");
             }
-            std::process::exit(1);
+            std::process::exit(EXIT_FATAL);
         }
     }
+    std::process::exit(code);
 }

@@ -171,11 +171,42 @@ impl RunManifest {
         )
     }
 
-    /// Write pretty-printed JSON into `dir` (created if missing).
+    /// Write pretty-printed JSON into `dir` (created if missing). The
+    /// write is atomic (temp file + rename) so a crash or SIGINT never
+    /// leaves a torn manifest behind.
     pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
-        std::fs::create_dir_all(dir)?;
         let path = dir.join(self.file_name());
-        std::fs::write(&path, serde::json::to_string_pretty(self))?;
+        sim_harness::atomic_write(&path, &serde::json::to_string_pretty(self))?;
+        Ok(path)
+    }
+}
+
+/// Supervision summary of one campaign-shaped subcommand run
+/// (`bench-baseline`, `fault-inject`): how the harness fared, written as
+/// `campaign.json` into the `--resume` directory next to the journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignManifest {
+    /// Subcommand that ran the campaign.
+    pub campaign: String,
+    /// True when a SIGINT stopped the campaign before every job ran;
+    /// the journal holds the completed prefix and `--resume` picks the
+    /// remainder up.
+    pub interrupted: bool,
+    /// Process exit code the campaign terminated with (see the exit
+    /// code contract in DESIGN.md: 0 ok, 2 partial with quarantine,
+    /// 3 fatal, 130 interrupted).
+    pub exit_code: u32,
+    pub stats: sim_harness::HarnessStats,
+    pub quarantined: Vec<sim_harness::QuarantineEntry>,
+}
+
+impl CampaignManifest {
+    pub const FILE_NAME: &'static str = "campaign.json";
+
+    /// Atomically write `DIR/campaign.json`.
+    pub fn write(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join(Self::FILE_NAME);
+        sim_harness::atomic_write(&path, &serde::json::to_string_pretty(self))?;
         Ok(path)
     }
 }
@@ -309,6 +340,41 @@ mod tests {
         assert_eq!(slug("CPU-A"), "cpu-a");
         assert_eq!(slug(""), "x");
         assert_eq!(slug("***"), "x");
+    }
+
+    #[test]
+    fn campaign_manifest_roundtrips() {
+        let m = CampaignManifest {
+            campaign: "bench-baseline".to_string(),
+            interrupted: true,
+            exit_code: 130,
+            stats: sim_harness::HarnessStats {
+                completed: 3,
+                resumed: 1,
+                retries: 2,
+                panics: 1,
+                deadlines: 0,
+                watchdogs: 0,
+                diverged: 0,
+                io_errors: 0,
+                quarantined: 1,
+                skipped: 4,
+            },
+            quarantined: vec![sim_harness::QuarantineEntry {
+                key: sim_harness::JobKey::new("bench-baseline", "smt-icount", 1, 42),
+                failures: 3,
+                error: sim_harness::JobError::Panic {
+                    message: "index out of bounds".into(),
+                },
+            }],
+        };
+        let dir = std::env::temp_dir().join("smtsim_campaign_manifest_test");
+        let path = m.write(&dir).unwrap();
+        assert!(path.ends_with("campaign.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: CampaignManifest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,72 +2,100 @@
 //!
 //! Simulations share nothing mutable (each owns its pipeline, caches and
 //! collector; the context's program cache is behind a lock and read-heavy),
-//! so experiments fan out with scoped threads: a shared atomic work index
-//! hands out jobs, results land in their input slots, and data-race
-//! freedom follows from `std::thread::scope`'s borrow rules — the idiom
-//! the Rust concurrency guides recommend for fixed work lists. Thread
-//! count adapts to the host (`std::thread::available_parallelism`), so on
-//! a single-core host this degrades gracefully to sequential execution.
+//! so experiments fan out over the supervised worker pool in
+//! [`sim_harness`]: a shared atomic work index hands out jobs, every job
+//! runs under `catch_unwind`, and results land back in their input slots.
+//! Worker count defaults to `--jobs` / `available_parallelism` (see
+//! [`sim_harness::default_jobs`]), so on a single-core host this degrades
+//! gracefully to sequential execution.
+//!
+//! Two entry points:
+//!
+//! * [`try_parallel_map`] — per-slot `Result`: a job that panics (or is
+//!   skipped because shutdown was requested) yields `Err` for *its slot*
+//!   while every other job still completes.
+//! * [`parallel_map`] — the historical infallible signature. A panicking
+//!   job no longer poisons the scope mid-campaign; the remaining jobs
+//!   finish first and the panic is re-raised afterwards with the slot
+//!   index attached.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use sim_harness::{
+    run_supervised, Backoff, HarnessConfig, HarnessObservers, JobError, JobKey, JobOutcome,
+};
+
+/// Supervision policy for in-process exhibit fan-out: no retries (the
+/// simulations are deterministic, so a failure is not transient), no
+/// deadline, worker count from the process default (`--jobs`).
+fn exhibit_cfg() -> HarnessConfig {
+    HarnessConfig {
+        max_attempts: 1,
+        backoff: Backoff::none(),
+        quarantine_threshold: 1,
+        deadline: None,
+        jobs: None,
+    }
+}
+
+/// Apply `f` to every item in parallel, preserving input order, with
+/// per-slot failure isolation: slot `i` is `Err` if job `i` panicked or
+/// was skipped by a shutdown request, independent of every other slot.
+pub fn try_parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, JobError>>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let keyed: Vec<(JobKey, T)> = items
+        .into_iter()
+        .enumerate()
+        .map(|(i, item)| (JobKey::new("exhibit", "map", i as u64, 0), item))
+        .collect();
+    let outcome = run_supervised(
+        keyed,
+        |item, _ctx| Ok(f(item)),
+        &exhibit_cfg(),
+        &HarnessObservers::off(),
+        |_, _: &R| {},
+    );
+    outcome
+        .jobs
+        .into_iter()
+        .map(|(_, o)| match o {
+            JobOutcome::Completed { value, .. } => Ok(value),
+            JobOutcome::Quarantined { error, .. } => Err(error),
+            JobOutcome::Skipped => Err(JobError::Io {
+                detail: "skipped: shutdown requested before the job started".to_string(),
+            }),
+        })
+        .collect()
+}
 
 /// Apply `f` to every item, in parallel, preserving input order in the
-/// output.
+/// output. If any job panics, every other job still runs to completion
+/// and the panic is then re-raised on the calling thread.
 pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(n);
-    if threads <= 1 {
-        return items.iter().map(&f).collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    // Hand each worker a disjoint view of the output slots via raw
-    // chunking: each index is written exactly once by the worker that
-    // claimed it from the atomic counter. A Mutex<Vec<Option<R>>> would
-    // also work; per-slot handoff through a channel keeps it lock-free.
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, R)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let items = &items;
-            let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                // The receiver outlives all senders within the scope.
-                let _ = tx.send((i, r));
-            });
-        }
-        drop(tx);
-        while let Ok((i, r)) = rx.recv() {
-            slots[i] = Some(r);
-        }
-    });
-    slots
+    try_parallel_map(items, f)
         .into_iter()
-        .map(|s| s.expect("worker completed every claimed job"))
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(v) => v,
+            Err(e) => panic!("parallel job {i} failed: {e}"),
+        })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn preserves_order() {
@@ -93,5 +121,44 @@ mod tests {
         let table: Vec<u64> = (0..1000).collect();
         let out = parallel_map((0..50usize).collect(), |&i| table[i * 2]);
         assert_eq!(out[10], 20);
+    }
+
+    #[test]
+    fn panicking_job_fails_only_its_slot() {
+        let out = try_parallel_map((0..8u64).collect(), |&x| {
+            if x == 3 {
+                panic!("job three detonated");
+            }
+            x * 10
+        });
+        assert_eq!(out.len(), 8);
+        for (i, slot) in out.iter().enumerate() {
+            if i == 3 {
+                assert!(
+                    matches!(slot, Err(JobError::Panic { message }) if message.contains("detonated")),
+                    "slot 3 should carry the panic: {slot:?}"
+                );
+            } else {
+                assert_eq!(*slot.as_ref().unwrap(), (i as u64) * 10);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_finishes_other_jobs_before_repanicking() {
+        let ran = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map((0..6u64).collect(), |&x| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                if x == 0 {
+                    panic!("first job dies");
+                }
+                x
+            })
+        }));
+        assert!(caught.is_err(), "panic must propagate to the caller");
+        // Every job ran despite job 0 panicking immediately — the old
+        // fan-out poisoned the whole scope instead.
+        assert_eq!(ran.load(Ordering::SeqCst), 6);
     }
 }

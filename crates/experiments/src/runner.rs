@@ -9,7 +9,7 @@ use sim_metrics::Metrics;
 use sim_trace::chrome::ChromeTraceSink;
 use sim_trace::timing::{PhaseTimings, StageSeconds};
 use sim_trace::Tracer;
-use smt_sim::{FetchPolicyKind, Pipeline, SimLimits};
+use smt_sim::{CancelToken, FetchPolicyKind, Pipeline, SimLimits};
 use workload_gen::WorkloadMix;
 
 /// Everything one simulation produced.
@@ -28,6 +28,10 @@ pub struct RunOutcome {
     /// Average adaptive wq_ratio (DVM runs only).
     pub dvm_avg_ratio: Option<f64>,
     pub deadlocked: bool,
+    /// True when a cooperative cancel token stopped the measured run
+    /// early (wall-clock deadline enforcement); the statistics cover
+    /// only the cycles that ran and must not be aggregated.
+    pub cancelled: bool,
     /// Workload-generation salt (0 = canonical workload).
     pub salt: u64,
     /// Host wall-clock cost of the run, by phase.
@@ -63,6 +67,21 @@ pub fn run_scheme_salted(
     fetch: FetchPolicyKind,
     salt: u64,
 ) -> RunOutcome {
+    run_scheme_cancellable(ctx, mix, scheme, fetch, salt, None)
+}
+
+/// [`run_scheme_salted`] with an optional cooperative cancel token: the
+/// supervised campaign paths thread the harness's per-attempt token in
+/// so a wall-clock deadline can stop the simulation at the next
+/// interval-clock tick instead of waiting out the full cycle budget.
+pub fn run_scheme_cancellable(
+    ctx: &ExperimentContext,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+    salt: u64,
+    cancel: Option<CancelToken>,
+) -> RunOutcome {
     let mut timings = PhaseTimings::default();
     let run_id = ctx.next_run_id();
 
@@ -71,6 +90,9 @@ pub fn run_scheme_salted(
     });
     let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
     let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
+    if let Some(token) = cancel {
+        pipeline.set_cancel_token(token);
+    }
     attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
     let metrics = attach_metrics(ctx, &mut pipeline);
 
@@ -100,6 +122,7 @@ pub fn run_scheme_salted(
         governor_stall_cycles: result.stats.governor_stall_cycles,
         dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
         deadlocked: result.deadlocked,
+        cancelled: result.cancelled,
         salt,
         timings,
         stage_seconds,
@@ -154,6 +177,7 @@ pub fn run_stats_only(
         governor_stall_cycles: result.stats.governor_stall_cycles,
         dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
         deadlocked: result.deadlocked,
+        cancelled: result.cancelled,
         salt: 0,
         timings,
         stage_seconds,
@@ -228,15 +252,21 @@ fn export_metrics(
             slug(&mix.name),
             slug(scheme.label()),
         );
+        // Atomic exports: stream to a buffer, then `.tmp` + rename, so
+        // a crash (or SIGINT) mid-export never leaves a torn file for a
+        // resumed campaign to trip over.
         let export = std::fs::create_dir_all(dir)
             .and_then(|_| {
-                let mut f = std::fs::File::create(dir.join(format!("{base}.series.jsonl")))?;
-                sim_metrics::export::write_series_jsonl(&snapshot, &mut f)
+                let mut buf = Vec::new();
+                sim_metrics::export::write_series_jsonl(&snapshot, &mut buf)?;
+                let text = String::from_utf8(buf)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                sim_harness::atomic_write(&dir.join(format!("{base}.series.jsonl")), &text)
             })
             .and_then(|_| {
-                std::fs::write(
-                    dir.join(format!("{base}.prom")),
-                    sim_metrics::export::render_prometheus(&snapshot),
+                sim_harness::atomic_write(
+                    &dir.join(format!("{base}.prom")),
+                    &sim_metrics::export::render_prometheus(&snapshot),
                 )
             });
         if let Err(e) = export {

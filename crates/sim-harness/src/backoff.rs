@@ -1,0 +1,100 @@
+//! Exponential backoff schedule for job retries.
+
+use std::time::Duration;
+
+/// Exponential backoff policy: the delay before attempt `n` (n >= 2) is
+/// `base_ms * factor^(n-2)`, saturating at `cap_ms`. Attempt 1 never
+/// waits — the schedule only spaces *retries*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    /// Delay before the first retry (attempt 2), in milliseconds.
+    pub base_ms: u64,
+    /// Multiplier applied per further retry.
+    pub factor: u32,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Backoff {
+    /// The default campaign policy: 250 ms, doubling, capped at 8 s.
+    pub fn standard() -> Backoff {
+        Backoff {
+            base_ms: 250,
+            factor: 2,
+            cap_ms: 8_000,
+        }
+    }
+
+    /// No waiting between retries (tests, fast-failing campaigns).
+    pub fn none() -> Backoff {
+        Backoff {
+            base_ms: 0,
+            factor: 1,
+            cap_ms: 0,
+        }
+    }
+
+    /// Delay to sleep *before* starting `attempt` (1-based). Attempt 1
+    /// is the initial try and gets no delay; attempt 2 waits `base_ms`;
+    /// each later attempt multiplies by `factor`, saturating at
+    /// `cap_ms`. All arithmetic saturates rather than overflowing.
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let mut delay = self.base_ms;
+        for _ in 0..attempt.saturating_sub(2) {
+            delay = delay.saturating_mul(self.factor as u64);
+            if delay >= self.cap_ms {
+                break;
+            }
+        }
+        Duration::from_millis(delay.min(self.cap_ms))
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_schedule_doubles_until_cap() {
+        let b = Backoff::standard();
+        assert_eq!(b.delay_before(1), Duration::ZERO);
+        assert_eq!(b.delay_before(2), Duration::from_millis(250));
+        assert_eq!(b.delay_before(3), Duration::from_millis(500));
+        assert_eq!(b.delay_before(4), Duration::from_millis(1_000));
+        assert_eq!(b.delay_before(5), Duration::from_millis(2_000));
+        assert_eq!(b.delay_before(6), Duration::from_millis(4_000));
+        assert_eq!(b.delay_before(7), Duration::from_millis(8_000));
+        // Saturated at the cap from here on.
+        assert_eq!(b.delay_before(8), Duration::from_millis(8_000));
+        assert_eq!(b.delay_before(60), Duration::from_millis(8_000));
+    }
+
+    #[test]
+    fn none_never_waits() {
+        let b = Backoff::none();
+        for attempt in 0..10 {
+            assert_eq!(b.delay_before(attempt), Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn huge_attempts_do_not_overflow() {
+        let b = Backoff {
+            base_ms: u64::MAX / 2,
+            factor: u32::MAX,
+            cap_ms: u64::MAX,
+        };
+        // Must not panic in debug builds (overflow checks are on).
+        let d = b.delay_before(u32::MAX);
+        assert!(d >= Duration::from_millis(u64::MAX / 2));
+    }
+}

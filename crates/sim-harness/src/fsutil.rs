@@ -1,0 +1,58 @@
+//! Crash-safe file writes.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Write `contents` to `path` atomically: the bytes go to a `.tmp`
+/// sibling first and are moved into place with `fs::rename`, so readers
+/// (and a campaign resuming after a crash) see either the old file or
+/// the new one, never a torn half-write.
+pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sim-harness-fsutil").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let dir = scratch("writes_and_replaces");
+        let path = dir.join("report.json");
+        atomic_write(&path, "{\"v\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":1}");
+        atomic_write(&path, "{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"v\":2}");
+        // No stray temp file remains.
+        assert!(!dir.join("report.json.tmp").exists());
+    }
+
+    #[test]
+    fn creates_missing_parent_dirs() {
+        let dir = scratch("creates_missing_parent_dirs");
+        let path = dir.join("a/b/c.txt");
+        atomic_write(&path, "deep").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "deep");
+    }
+}

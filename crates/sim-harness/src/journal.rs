@@ -1,0 +1,328 @@
+//! Append-only JSONL checkpoint journal for resumable campaigns.
+//!
+//! One line per completed job. A crash while appending can tear at most
+//! the final line; [`Journal::open`] tolerates that by discarding any
+//! unparseable tail and counting it, so `--resume` loses at most the
+//! one job that was mid-write.
+
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::JobError;
+
+/// Version stamped into every record; records with a different version
+/// are skipped (and counted) on load so old journals never corrupt a
+/// resumed campaign silently.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+
+/// Identity of one unit of campaign work. Two runs of the same binary
+/// with the same key must produce the same result (simulations are
+/// deterministic given their seed), which is what makes journal replay
+/// sound; `config_hash` exists to invalidate records when the campaign
+/// configuration changes between runs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobKey {
+    /// Campaign family, e.g. `"bench-baseline"` or `"fault-inject"`.
+    pub exhibit: String,
+    /// Scheme / configuration label within the campaign.
+    pub scheme: String,
+    /// Seed (or salt) distinguishing statistical repetitions.
+    pub seed: u64,
+    /// FNV-1a hash of the campaign configuration (see [`fnv1a`]).
+    pub config_hash: u64,
+}
+
+impl JobKey {
+    pub fn new(exhibit: &str, scheme: &str, seed: u64, config_hash: u64) -> JobKey {
+        JobKey {
+            exhibit: exhibit.to_string(),
+            scheme: scheme.to_string(),
+            seed,
+            config_hash,
+        }
+    }
+
+    /// Filesystem/trace-safe label: non-alphanumeric runs collapse to
+    /// a single `-`.
+    pub fn slug(&self) -> String {
+        let raw = format!(
+            "{}-{}-s{}-c{:08x}",
+            self.exhibit, self.scheme, self.seed, self.config_hash
+        );
+        let mut out = String::with_capacity(raw.len());
+        let mut last_dash = false;
+        for ch in raw.chars() {
+            if ch.is_ascii_alphanumeric() {
+                out.push(ch.to_ascii_lowercase());
+                last_dash = false;
+            } else if !last_dash {
+                out.push('-');
+                last_dash = true;
+            }
+        }
+        out.trim_matches('-').to_string()
+    }
+}
+
+impl std::fmt::Display for JobKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} seed={} cfg={:08x}",
+            self.exhibit, self.scheme, self.seed, self.config_hash
+        )
+    }
+}
+
+/// One journal line: schema version, key, and the job's result as an
+/// embedded JSON string (kept opaque so the journal layer does not need
+/// to know campaign result types).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalRecord {
+    pub v: u32,
+    pub key: JobKey,
+    pub payload: String,
+}
+
+/// Statistics from loading an existing journal file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalLoadStats {
+    /// Records accepted into the replay map.
+    pub loaded: usize,
+    /// Lines that failed to parse (torn tail, corruption).
+    pub torn: usize,
+    /// Parsed records whose schema version did not match.
+    pub wrong_version: usize,
+}
+
+/// Append-only JSONL journal living at `<dir>/journal.jsonl`.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    records: BTreeMap<JobKey, String>,
+    load_stats: JournalLoadStats,
+}
+
+impl Journal {
+    /// File name used inside the campaign directory.
+    pub const FILE_NAME: &'static str = "journal.jsonl";
+
+    /// Open (creating if absent) the journal in `dir`, replaying any
+    /// existing records. Unparseable lines are discarded and counted
+    /// as `torn`; parseable records with a different schema version are
+    /// counted as `wrong_version`. When the same key appears more than
+    /// once, the later record wins.
+    pub fn open(dir: &Path) -> Result<Journal, JobError> {
+        fs::create_dir_all(dir).map_err(io_err)?;
+        let path = dir.join(Self::FILE_NAME);
+        let mut records = BTreeMap::new();
+        let mut load_stats = JournalLoadStats::default();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path).map_err(io_err)?);
+            for line in reader.lines() {
+                let line = line.map_err(io_err)?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                match serde::json::from_str::<JournalRecord>(&line) {
+                    Ok(rec) if rec.v == JOURNAL_SCHEMA_VERSION => {
+                        records.insert(rec.key, rec.payload);
+                        load_stats.loaded += 1;
+                    }
+                    Ok(_) => load_stats.wrong_version += 1,
+                    Err(_) => load_stats.torn += 1,
+                }
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_err)?;
+        Ok(Journal {
+            path,
+            file,
+            records,
+            load_stats,
+        })
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    pub fn load_stats(&self) -> JournalLoadStats {
+        self.load_stats
+    }
+
+    /// Number of distinct keys currently replayable.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Raw payload JSON for `key`, if journaled.
+    pub fn lookup(&self, key: &JobKey) -> Option<&str> {
+        self.records.get(key).map(|s| s.as_str())
+    }
+
+    /// Decode a journaled payload into its result type.
+    pub fn decode<R: Deserialize>(&self, key: &JobKey) -> Option<Result<R, JobError>> {
+        self.lookup(key).map(|payload| {
+            serde::json::from_str::<R>(payload).map_err(|e| JobError::Io {
+                detail: format!("journal payload for {key} failed to decode: {e:?}"),
+            })
+        })
+    }
+
+    /// Append one completed job. The record is written as a single line
+    /// and flushed before returning, so a later crash cannot lose it.
+    pub fn record<R: Serialize>(&mut self, key: &JobKey, result: &R) -> Result<(), JobError> {
+        let payload = serde::json::to_string(result);
+        let rec = JournalRecord {
+            v: JOURNAL_SCHEMA_VERSION,
+            key: key.clone(),
+            payload: payload.clone(),
+        };
+        let mut line = serde::json::to_string(&rec);
+        line.push('\n');
+        self.file.write_all(line.as_bytes()).map_err(io_err)?;
+        self.file.flush().map_err(io_err)?;
+        self.records.insert(key.clone(), payload);
+        Ok(())
+    }
+}
+
+fn io_err(e: std::io::Error) -> JobError {
+    JobError::Io {
+        detail: e.to_string(),
+    }
+}
+
+/// FNV-1a over the canonical text of a campaign configuration — the
+/// standard way to derive [`JobKey::config_hash`].
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sim-harness-journal").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn key(seed: u64) -> JobKey {
+        JobKey::new("bench-baseline", "icount", seed, fnv1a("cfg"))
+    }
+
+    #[test]
+    fn roundtrip_and_replay() {
+        let dir = scratch("roundtrip_and_replay");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.record(&key(1), &"alpha".to_string()).unwrap();
+            j.record(&key(2), &"beta".to_string()).unwrap();
+        }
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.load_stats().loaded, 2);
+        assert_eq!(j.decode::<String>(&key(1)).unwrap().unwrap(), "alpha");
+        assert_eq!(j.decode::<String>(&key(2)).unwrap().unwrap(), "beta");
+        assert!(j.lookup(&key(3)).is_none());
+    }
+
+    #[test]
+    fn later_record_wins() {
+        let dir = scratch("later_record_wins");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.record(&key(1), &"old".to_string()).unwrap();
+            j.record(&key(1), &"new".to_string()).unwrap();
+        }
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.decode::<String>(&key(1)).unwrap().unwrap(), "new");
+    }
+
+    #[test]
+    fn torn_tail_line_is_discarded() {
+        let dir = scratch("torn_tail_line_is_discarded");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.record(&key(1), &"kept".to_string()).unwrap();
+        }
+        // Simulate a crash mid-append: half a record, no newline.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(Journal::FILE_NAME))
+            .unwrap();
+        f.write_all(b"{\"v\":1,\"key\":{\"exhi").unwrap();
+        drop(f);
+
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.load_stats().torn, 1);
+        assert_eq!(j.decode::<String>(&key(1)).unwrap().unwrap(), "kept");
+    }
+
+    #[test]
+    fn wrong_schema_version_is_skipped() {
+        let dir = scratch("wrong_schema_version_is_skipped");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.record(&key(1), &"v1".to_string()).unwrap();
+        }
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(Journal::FILE_NAME))
+            .unwrap();
+        let future = JournalRecord {
+            v: JOURNAL_SCHEMA_VERSION + 1,
+            key: key(2),
+            payload: "\"v2\"".to_string(),
+        };
+        let mut line = serde::json::to_string(&future);
+        line.push('\n');
+        f.write_all(line.as_bytes()).unwrap();
+        drop(f);
+
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.load_stats().wrong_version, 1);
+        assert!(j.lookup(&key(2)).is_none());
+    }
+
+    #[test]
+    fn slug_is_filesystem_safe() {
+        let k = JobKey::new("fault-inject", "DVM/aggr", 7, 0xdead_beef);
+        let slug = k.slug();
+        assert_eq!(slug, "fault-inject-dvm-aggr-s7-cdeadbeef");
+        assert!(slug.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        // Reference vectors for the 64-bit FNV-1a parameters.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+        assert_eq!(fnv1a("campaign"), fnv1a("campaign"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # `sim-harness` — resilient execution for long simulation campaigns
+//!
+//! The paper's evidence rests on multi-seed, multi-scheme campaigns
+//! that run for hours; the execution layer therefore has to tolerate
+//! failures instead of aborting on the first one. This crate supervises
+//! campaign-shaped work — many independent, deterministic jobs fanned
+//! out over a worker pool — with the reliability mechanisms the raw
+//! `std::thread::scope` fan-out lacked:
+//!
+//! * **Panic isolation** — every job runs under `catch_unwind`; a
+//!   panicking simulation becomes a typed [`JobError::Panic`] for *that
+//!   job* instead of poisoning the whole campaign.
+//! * **Wall-clock deadlines** — a monitor thread cancels overrunning
+//!   jobs through the simulator's cooperative
+//!   [`CancelToken`](smt_sim::CancelToken) (polled on the 10K-cycle
+//!   interval clock), layering host-time bounds over the simulated
+//!   commit watchdog.
+//! * **Bounded retry with exponential backoff** — transient failures
+//!   get [`HarnessConfig::max_attempts`] tries, spaced by [`Backoff`].
+//! * **Quarantine** — jobs that keep failing are sidelined in a
+//!   [`Quarantine`] registry; the campaign completes with an explicit
+//!   quarantined section instead of dying.
+//! * **Checkpoint–resume** — each completed job appends one record to a
+//!   schema-versioned JSONL [`Journal`] keyed by
+//!   [`JobKey`] `(exhibit, scheme, seed, config-hash)`; re-running the
+//!   campaign against the same journal replays completed jobs from disk
+//!   and only simulates the remainder. The journal load tolerates a
+//!   torn final record, so a crash at any byte boundary loses at most
+//!   the job that was being written.
+//! * **Graceful interrupt** — a SIGINT (see [`signal`]) stops job
+//!   claiming, drains in-flight work, and leaves the journal complete;
+//!   a second SIGINT exits immediately.
+//!
+//! Everything the supervisor does is observable: `harness.*` counters
+//! land in a [`sim_metrics::Metrics`] registry and job lifecycle events
+//! are emitted as [`sim_trace::TraceEvent::Harness`] records, so
+//! retries and quarantines show up in run manifests and Chrome traces
+//! next to the simulations they supervised.
+
+pub mod backoff;
+pub mod error;
+pub mod fsutil;
+pub mod journal;
+pub mod quarantine;
+pub mod signal;
+pub mod supervisor;
+
+pub use backoff::Backoff;
+pub use error::JobError;
+pub use fsutil::atomic_write;
+pub use journal::{fnv1a, JobKey, Journal, JOURNAL_SCHEMA_VERSION};
+pub use quarantine::{Quarantine, QuarantineEntry};
+pub use supervisor::{
+    default_jobs, run_journaled, run_supervised, set_default_jobs, CampaignOutcome, HarnessConfig,
+    HarnessObservers, HarnessStats, JobCtx, JobOutcome,
+};

@@ -17,6 +17,7 @@ const PID: u64 = 1;
 const TID_PIPELINE: u64 = 1;
 const TID_GOVERNOR: u64 = 2;
 const TID_MEMORY: u64 = 3;
+const TID_HARNESS: u64 = 4;
 
 /// Accumulates Chrome trace events and writes a complete JSON document
 /// on `flush` (and on drop).
@@ -84,6 +85,7 @@ impl ChromeTraceSink {
             (TID_PIPELINE, "pipeline"),
             (TID_GOVERNOR, "governor"),
             (TID_MEMORY, "memory"),
+            (TID_HARNESS, "harness"),
         ] {
             track_meta.push(obj(vec![
                 ("name", Value::String("thread_name".to_string())),
@@ -202,6 +204,28 @@ impl TraceSink for ChromeTraceSink {
                         ("bit", Value::U64(*bit as u64)),
                         ("victim_seq", Value::U64(victim_seq.unwrap_or(0))),
                         ("outcome", Value::String(outcome.clone())),
+                    ],
+                );
+            }
+            TraceEvent::Harness {
+                job,
+                attempt,
+                phase,
+                detail,
+                ..
+            } => {
+                // Harness timestamps are wall-clock ms since campaign
+                // start (event.cycle() reports at_ms); they share the
+                // microsecond timeline with simulator events but live
+                // on their own track.
+                self.instant(
+                    ts,
+                    TID_HARNESS,
+                    &format!("harness_{phase}"),
+                    vec![
+                        ("job", Value::String(job.clone())),
+                        ("attempt", Value::U64(*attempt as u64)),
+                        ("detail", Value::String(detail.clone())),
                     ],
                 );
             }
@@ -341,6 +365,13 @@ mod tests {
                 squashed: 23,
                 reason: FlushReason::L2Miss,
             },
+            TraceEvent::Harness {
+                at_ms: 12,
+                job: "dvm-mem_s1".into(),
+                attempt: 1,
+                phase: "completed".into(),
+                detail: String::new(),
+            },
         ]
     }
 
@@ -370,6 +401,7 @@ mod tests {
             .collect();
         assert!(names.contains(&"dvm_trigger"));
         assert!(names.contains(&"hint_avf"));
+        assert!(names.contains(&"harness_completed"));
         std::fs::remove_file(&path).ok();
     }
 
@@ -382,9 +414,9 @@ mod tests {
         for ev in sample_events() {
             sink.record(&ev);
         }
-        // 5 counters + 2 instants attempted, 2 kept.
+        // 5 counters + 3 instants attempted, 2 kept.
         assert_eq!(sink.len(), 2);
-        assert_eq!(sink.dropped, 5);
+        assert_eq!(sink.dropped, 6);
         sink.written = true; // suppress drop-time file write
     }
 }

@@ -152,6 +152,23 @@ pub enum TraceEvent {
         /// Trial outcome label ("masked", "sdc", "detected", "hang", …).
         outcome: String,
     },
+    /// Campaign-harness job lifecycle record. Unlike the simulator
+    /// events above, these are stamped with host wall-clock
+    /// milliseconds since campaign start (`at_ms`), not simulated
+    /// cycles — the harness supervises whole simulations.
+    Harness {
+        /// Milliseconds since the supervising campaign started.
+        at_ms: u64,
+        /// Slugged job key (`exhibit_scheme_seed`).
+        job: String,
+        /// 1-based attempt number this record refers to.
+        attempt: u32,
+        /// Lifecycle phase: "started", "completed", "failed",
+        /// "retried", "quarantined", "resumed".
+        phase: String,
+        /// Failure kind or free-form detail ("" when not applicable).
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -171,6 +188,7 @@ impl TraceEvent {
             TraceEvent::IntervalRollover { .. } => "interval",
             TraceEvent::Governor(g) => g.kind(),
             TraceEvent::FaultInject { .. } => "fault_inject",
+            TraceEvent::Harness { .. } => "harness",
         }
     }
 
@@ -189,6 +207,9 @@ impl TraceEvent {
             | TraceEvent::IntervalRollover { cycle, .. }
             | TraceEvent::FaultInject { cycle, .. } => *cycle,
             TraceEvent::Governor(g) => g.cycle(),
+            // Harness events live on the host clock; report it so the
+            // Chrome exporter still gets monotonic timestamps.
+            TraceEvent::Harness { at_ms, .. } => *at_ms,
         }
     }
 
@@ -260,6 +281,13 @@ mod tests {
                 bit: 65,
                 victim_seq: Some(1_234_567),
                 outcome: "sdc".into(),
+            },
+            TraceEvent::Harness {
+                at_ms: 1_500,
+                job: "opt1-mix_s2".into(),
+                attempt: 2,
+                phase: "retried".into(),
+                detail: "panic".into(),
             },
         ];
         for event in &events {

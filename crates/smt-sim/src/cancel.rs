@@ -1,0 +1,57 @@
+//! Cooperative cancellation for long simulations.
+//!
+//! A [`CancelToken`] is a cheap cloneable flag an external supervisor
+//! (the campaign harness's wall-clock deadline monitor, a SIGINT
+//! handler) sets to ask a running [`Pipeline`](crate::Pipeline) to stop.
+//! The pipeline polls it on its sampling-interval clock (every 10K
+//! cycles by default), so a runaway or merely slow simulation winds down
+//! within one interval instead of having to be killed with its thread —
+//! its statistics, tracer and metrics registry all stay usable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shared cancellation flag. Clones observe the same flag; the default
+/// token is never cancelled (and costs one relaxed load to poll).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

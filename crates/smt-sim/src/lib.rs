@@ -34,6 +34,7 @@
 //! aggregates (ready-queue composition, online hint-bit counts) that the
 //! paper's DVM hardware would compute with counters.
 
+pub mod cancel;
 pub mod config;
 pub mod dispatch;
 pub mod events;
@@ -47,6 +48,7 @@ pub mod scoreboard;
 pub mod stats;
 pub mod types;
 
+pub use cancel::CancelToken;
 pub use config::{MachineConfig, SimLimits, DEFAULT_WATCHDOG_CYCLES};
 pub use dispatch::{DispatchGovernor, GovernorView, UnlimitedDispatch};
 pub use events::{NullObserver, RetireEvent, RetireKind, SimObserver};

@@ -34,6 +34,7 @@
 //! * No physical register file: wakeup uses a per-thread architectural
 //!   scoreboard (see `scoreboard.rs`).
 
+use crate::cancel::CancelToken;
 use crate::config::{MachineConfig, SimLimits};
 use crate::dispatch::{DispatchGovernor, GovernorView, ThreadView, UnlimitedDispatch};
 use crate::events::{RetireEvent, RetireKind, SimObserver};
@@ -109,6 +110,9 @@ pub struct SimResult {
     pub stats: SimStats,
     /// The run hit the cycle ceiling or a commit-starvation watchdog.
     pub deadlocked: bool,
+    /// The run stopped early because its [`CancelToken`] was set (a
+    /// wall-clock deadline or shutdown request, not a machine symptom).
+    pub cancelled: bool,
 }
 
 /// The simulated SMT processor.
@@ -162,6 +166,9 @@ pub struct Pipeline {
     metrics: Metrics,
     /// Opt-in per-stage wall-clock self-profiling.
     profile: StageProfile,
+    /// Cooperative cancellation flag, polled on the sampling-interval
+    /// clock by `run` and `warm_up`. Defaults to a never-set token.
+    cancel: CancelToken,
     /// Zero-based index of the next sampling interval to close (reset by
     /// `warm_up` so it matches `stats.intervals` indexing).
     interval_index: u64,
@@ -233,6 +240,7 @@ impl Pipeline {
             tracer: Tracer::off(),
             metrics: Metrics::off(),
             profile: StageProfile::new(false),
+            cancel: CancelToken::default(),
             interval_index: 0,
             config,
             policies,
@@ -281,6 +289,15 @@ impl Pipeline {
         &self.profile
     }
 
+    /// Attach a cooperative cancellation token. `run` and `warm_up`
+    /// poll it once per sampling interval (10K cycles by default) and
+    /// return early when it is set — the deadline mechanism of the
+    /// campaign harness stops a runaway simulation without killing the
+    /// worker thread that owns it.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
     pub fn config(&self) -> &MachineConfig {
         &self.config
     }
@@ -297,9 +314,18 @@ impl Pipeline {
     /// `observer`.
     pub fn run(&mut self, limits: SimLimits, observer: &mut dyn SimObserver) -> SimResult {
         let mut deadlocked = false;
+        let mut cancelled = false;
         while self.stats.total_committed() < limits.max_instructions {
             if self.now - self.measure_start >= limits.max_cycles {
                 deadlocked = !limits.cycle_limited();
+                break;
+            }
+            // Cooperative cancellation, polled on the interval clock so
+            // the atomic load costs nothing on the per-cycle path.
+            if (self.now - self.measure_start).is_multiple_of(self.interval_cycles)
+                && self.cancel.is_cancelled()
+            {
+                cancelled = true;
                 break;
             }
             let now = self.now;
@@ -318,6 +344,7 @@ impl Pipeline {
         SimResult {
             stats: self.stats.clone(),
             deadlocked,
+            cancelled,
         }
     }
 
@@ -334,6 +361,12 @@ impl Pipeline {
             && self.now.saturating_sub(self.last_commit_cycle)
                 <= crate::config::DEFAULT_WATCHDOG_CYCLES
         {
+            // Warmup is often the longest phase of a run, so deadlines
+            // must be able to stop it too (same interval-clock poll as
+            // `run`).
+            if self.now.is_multiple_of(self.interval_cycles) && self.cancel.is_cancelled() {
+                break;
+            }
             self.step(&mut sink);
         }
         let n = self.threads.len();
@@ -1422,6 +1455,42 @@ mod tests {
 
     fn run_insts(p: &mut Pipeline, n: u64) -> SimResult {
         p.run(SimLimits::instructions(n), &mut NullObserver)
+    }
+
+    #[test]
+    fn cancel_token_stops_run_within_one_interval() {
+        let mut p = mini_pipeline(["bzip2", "eon", "gcc", "perlbmk"]);
+        let token = CancelToken::new();
+        p.set_cancel_token(token.clone());
+        // Uncancelled: the token costs nothing and the run completes.
+        let r = p.run(SimLimits::cycles(5_000), &mut NullObserver);
+        assert!(!r.cancelled && !r.deadlocked);
+        assert_eq!(r.stats.cycles, 5_000);
+        // Pre-cancelled: a would-be long run stops at the next interval
+        // boundary instead of burning the full cycle budget.
+        token.cancel();
+        let before = p.cycle();
+        let r = p.run(SimLimits::cycles(10_000_000), &mut NullObserver);
+        assert!(r.cancelled, "cancelled run must report it");
+        assert!(!r.deadlocked, "cancellation is not a deadlock symptom");
+        assert!(
+            p.cycle() - before <= DEFAULT_INTERVAL_CYCLES,
+            "stopped within one interval, not after {} cycles",
+            p.cycle() - before
+        );
+    }
+
+    #[test]
+    fn cancel_token_stops_warm_up() {
+        let mut p = mini_pipeline(["bzip2", "eon", "gcc", "perlbmk"]);
+        let token = CancelToken::new();
+        p.set_cancel_token(token.clone());
+        token.cancel();
+        let start = p.warm_up(100_000_000);
+        // Warmup bailed out on the interval clock; measurement state is
+        // still reset so a (short) measured run would be well-formed.
+        assert!(start <= DEFAULT_INTERVAL_CYCLES);
+        assert_eq!(p.stats().total_committed(), 0);
     }
 
     #[test]
