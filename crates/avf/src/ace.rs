@@ -21,6 +21,7 @@
 //! retirement events while the offline profiler attaches nothing.
 
 use micro_isa::{OpClass, Pc, Reg, ThreadId};
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 
 /// The paper's analysis-window size (instructions per thread).
@@ -37,6 +38,28 @@ pub struct AceInstRecord {
     /// Commit timestamp (used for register-file lifetime tracking;
     /// functional callers may use the instruction index).
     pub commit_cycle: u64,
+}
+
+impl Snap for AceInstRecord {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.tid);
+        w.put(&self.pc);
+        w.put(&self.op);
+        w.put(&self.dest);
+        w.put(&self.srcs);
+        w.put(&self.commit_cycle);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(AceInstRecord {
+            tid: r.get()?,
+            pc: r.get()?,
+            op: r.get()?,
+            dest: r.get()?,
+            srcs: r.get()?,
+            commit_cycle: r.get()?,
+        })
+    }
 }
 
 /// A finalized classification handed to the caller's sink.
@@ -205,6 +228,74 @@ impl<P> AceAnalyzer<P> {
             }
             tw.last_writer = [None; micro_isa::reg::NUM_REGS];
         }
+    }
+}
+
+impl<P: Snap> AceAnalyzer<P> {
+    /// Serialize the full analysis state: per-thread window base, every
+    /// in-flight entry (record, producer links, ACE mark, last-read
+    /// stamp, payload) and the last-writer table. The `walk` scratch is
+    /// always empty between pushes, so it is not stored.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&(self.window as u64));
+        w.put(&(self.threads.len() as u64));
+        for tw in &self.threads {
+            w.put(&tw.base);
+            w.put(&(tw.entries.len() as u64));
+            for e in &tw.entries {
+                w.put(&e.rec);
+                w.put(&e.producers);
+                w.put(&e.ace);
+                w.put(&e.last_read_cycle);
+                e.payload.save(w);
+            }
+            for slot in &tw.last_writer {
+                w.put(slot);
+            }
+        }
+    }
+
+    /// Restore onto an analyzer constructed with the same thread count
+    /// and window; both are validated against the stored values.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let window = r.get_u64()? as usize;
+        if window != self.window {
+            return Err(SnapError::Corrupt(format!(
+                "ACE window {} in snapshot, analyzer uses {}",
+                window, self.window
+            )));
+        }
+        let nt = r.get_u64()? as usize;
+        if nt != self.threads.len() {
+            return Err(SnapError::Corrupt(format!(
+                "ACE analyzer has {} threads, snapshot stores {nt}",
+                self.threads.len()
+            )));
+        }
+        for tw in &mut self.threads {
+            tw.base = r.get()?;
+            let n = r.get_len()?;
+            if n > window {
+                return Err(SnapError::Corrupt(format!(
+                    "{n} in-flight entries exceed the {window}-instruction window"
+                )));
+            }
+            tw.entries.clear();
+            for _ in 0..n {
+                tw.entries.push_back(Entry {
+                    rec: r.get()?,
+                    producers: r.get()?,
+                    ace: r.get()?,
+                    last_read_cycle: r.get()?,
+                    payload: P::load(r)?,
+                });
+            }
+            for slot in tw.last_writer.iter_mut() {
+                *slot = r.get()?;
+            }
+        }
+        self.walk.clear();
+        Ok(())
     }
 }
 

@@ -11,6 +11,7 @@
 
 use crate::ace::{AceAnalyzer, AceInstRecord, Finalized};
 use crate::layout;
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use sim_stats::IntervalSeries;
 use smt_sim::{MachineConfig, RetireEvent, SimObserver};
 
@@ -21,6 +22,24 @@ struct Timing {
     issue: Option<u64>,
     complete: Option<u64>,
     retire: u64,
+}
+
+impl Snap for Timing {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.dispatch);
+        w.put(&self.issue);
+        w.put(&self.complete);
+        w.put(&self.retire);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Timing {
+            dispatch: r.get()?,
+            issue: r.get()?,
+            complete: r.get()?,
+            retire: r.get()?,
+        })
+    }
 }
 
 /// Per-structure ACE-bit-cycle accumulators and interval series.
@@ -35,6 +54,32 @@ struct Accum {
     iq_interval_bits: Vec<f64>,
     committed: u64,
     ace_committed: u64,
+}
+
+impl Snap for Accum {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.iq_ace_bit_cycles);
+        w.put(&self.rob_ace_bit_cycles);
+        w.put(&self.rf_ace_bit_cycles);
+        w.put(&self.fu_ace_bit_cycles);
+        w.put(&self.lsq_ace_bit_cycles);
+        w.put(&self.iq_interval_bits);
+        w.put(&self.committed);
+        w.put(&self.ace_committed);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Accum {
+            iq_ace_bit_cycles: r.get()?,
+            rob_ace_bit_cycles: r.get()?,
+            rf_ace_bit_cycles: r.get()?,
+            fu_ace_bit_cycles: r.get()?,
+            lsq_ace_bit_cycles: r.get()?,
+            iq_interval_bits: r.get()?,
+            committed: r.get()?,
+            ace_committed: r.get()?,
+        })
+    }
 }
 
 /// The finished report.
@@ -188,6 +233,36 @@ impl AvfCollector {
                 accum.rf_ace_bit_cycles += res * layout::RF_REG_BITS as f64;
             }
         }
+    }
+
+    /// Serialize the collector mid-run: the in-flight ACE analysis
+    /// window plus every accumulator. `config` is *not* stored — restore
+    /// targets a collector freshly constructed with the same
+    /// configuration (the pipeline snapshot's config hash guards the
+    /// pairing).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.interval_cycles);
+        self.analyzer.save_state(w);
+        w.put(&self.accum);
+        w.put(&self.final_cycle);
+        w.put(&self.start_cycle);
+    }
+
+    /// Restore onto a freshly constructed collector; the sampling
+    /// interval and the analyzer's thread count / window are validated.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let interval = r.get_u64()?;
+        if interval != self.interval_cycles {
+            return Err(SnapError::Corrupt(format!(
+                "collector interval {} cycles, snapshot uses {interval}",
+                self.interval_cycles
+            )));
+        }
+        self.analyzer.restore_state(r)?;
+        self.accum = r.get()?;
+        self.final_cycle = r.get()?;
+        self.start_cycle = r.get()?;
+        Ok(())
     }
 
     /// Produce the report (valid after `on_finish`).

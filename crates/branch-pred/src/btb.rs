@@ -2,6 +2,7 @@
 //! replacement. Shared by all contexts (Table 2: "2K entries, 4-way").
 
 use micro_isa::Pc;
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 
 #[derive(Debug, Clone, Copy)]
 struct Way {
@@ -91,6 +92,33 @@ impl Btb {
             lru: 0,
         };
         self.touch(range, victim);
+    }
+
+    /// Serialize all ways (tags, targets, valid bits, LRU ages).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.ways.len() as u64);
+        for way in &self.ways {
+            w.put(&way.tag);
+            w.put(&way.target);
+            w.put(&way.valid);
+            w.put_u8(way.lru);
+        }
+    }
+
+    /// Restore state saved by [`Self::save_state`] onto a BTB of the
+    /// same geometry.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_u64()? as usize;
+        if n != self.ways.len() {
+            return Err(SnapError::Corrupt("BTB size mismatch".into()));
+        }
+        for way in &mut self.ways {
+            way.tag = r.get()?;
+            way.target = r.get()?;
+            way.valid = r.get()?;
+            way.lru = r.get_u8()?;
+        }
+        Ok(())
     }
 
     /// Age every way in the set and zero the touched way's age.

@@ -4,6 +4,7 @@
 //! "10-bit global history per thread".
 
 use micro_isa::Pc;
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// Two-bit saturating counter states. Strong-not-taken is 0, which is
 /// why the decrement below can rely on `saturating_sub` alone.
@@ -89,6 +90,28 @@ impl Gshare {
     #[inline]
     pub fn restore_history(&mut self, ckpt: u32) {
         self.history = ckpt & ((1u32 << self.history_bits) - 1);
+    }
+
+    /// Serialize mutable predictor state (history register + counters).
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.history);
+        w.put(&self.table);
+    }
+
+    /// Restore state saved by [`Self::save_state`] onto a predictor of
+    /// the same geometry.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let history: u32 = r.get()?;
+        let table: Vec<u8> = r.get()?;
+        if table.len() != self.table.len() {
+            return Err(SnapError::Corrupt("gshare table size mismatch".into()));
+        }
+        if table.iter().any(|&c| c > STRONG_T) {
+            return Err(SnapError::Corrupt("gshare counter out of range".into()));
+        }
+        self.history = history & ((1u32 << self.history_bits) - 1);
+        self.table = table;
+        Ok(())
     }
 }
 

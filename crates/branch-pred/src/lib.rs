@@ -165,6 +165,40 @@ impl BranchPredictor {
     pub fn ras_checkpoint(&self, tid: ThreadId) -> Vec<Pc> {
         self.ras[tid as usize].snapshot()
     }
+
+    /// Serialize the complete predictor state (all per-thread gshare
+    /// histories/tables, all RAS contents, the shared BTB).
+    pub fn save_state(&self, w: &mut sim_snapshot::SnapWriter) {
+        w.put_u64(self.gshare.len() as u64);
+        for g in &self.gshare {
+            g.save_state(w);
+        }
+        for r in &self.ras {
+            r.save_state(w);
+        }
+        self.btb.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`] onto a predictor of
+    /// the same configuration.
+    pub fn restore_state(
+        &mut self,
+        r: &mut sim_snapshot::SnapReader<'_>,
+    ) -> Result<(), sim_snapshot::SnapError> {
+        let n = r.get_u64()? as usize;
+        if n != self.gshare.len() {
+            return Err(sim_snapshot::SnapError::Corrupt(
+                "predictor thread-count mismatch".into(),
+            ));
+        }
+        for g in &mut self.gshare {
+            g.restore_state(r)?;
+        }
+        for ras in &mut self.ras {
+            ras.restore_state(r)?;
+        }
+        self.btb.restore_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -4,6 +4,7 @@
 //! hardware and both cause recoverable mispredictions.
 
 use micro_isa::Pc;
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// A bounded return-address stack.
 pub struct Ras {
@@ -50,6 +51,21 @@ impl Ras {
         let keep = snapshot.len().min(self.capacity);
         self.stack
             .extend_from_slice(&snapshot[snapshot.len() - keep..]);
+    }
+
+    /// Serialize the live stack contents.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.stack);
+    }
+
+    /// Restore state saved by [`Self::save_state`].
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let stack: Vec<Pc> = r.get()?;
+        if stack.len() > self.capacity {
+            return Err(SnapError::Corrupt("RAS depth above capacity".into()));
+        }
+        self.stack = stack;
+        Ok(())
     }
 }
 

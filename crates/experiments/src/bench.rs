@@ -10,15 +10,17 @@
 //! the combined 95 % confidence intervals — a drift smaller than the
 //! seed noise is not a regression, it is weather.
 
+use crate::checkpoint::{CheckpointPolicy, DEFAULT_SNAPSHOT_EVERY};
 use crate::context::ExperimentContext;
 use crate::manifest::BudgetSummary;
 use crate::report::Rendered;
-use crate::runner::run_scheme_cancellable;
+use crate::runner::{run_scheme_cancellable, run_scheme_checkpointed};
 use iq_reliability::Scheme;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sim_harness::{
-    fnv1a, run_journaled, run_supervised, HarnessConfig, HarnessObservers, HarnessStats, JobError,
-    JobKey, QuarantineEntry,
+    fnv1a, run_journaled_in, run_supervised, HarnessConfig, HarnessObservers, HarnessStats,
+    JobError, JobKey, Journal, QuarantineEntry, SnapshotStore,
 };
 use sim_stats::{SeedSummary, Table};
 use smt_sim::FetchPolicyKind;
@@ -197,18 +199,64 @@ pub fn run_bench_supervised(
         })
         .collect();
 
+    // With a journal directory, jobs run checkpointed: the journal is
+    // opened here (not inside `run_journaled`) so the job closures can
+    // append `checkpointed` markers to the same serialized stream the
+    // supervisor appends `done` records to.
+    let journal: Option<Mutex<Journal>> = match journal_dir {
+        Some(dir) => Some(Mutex::new(Journal::open(dir)?)),
+        None => None,
+    };
+
     let job = |&(c, salt): &(usize, u64), jctx: &sim_harness::JobCtx| {
         let case = &cases[c];
         let mix = workload_gen::mix_by_name(case.mix)
             .unwrap_or_else(|| panic!("unknown bench mix {}", case.mix));
-        let out = run_scheme_cancellable(
-            ctx,
-            &mix,
-            case.scheme,
-            case.fetch,
-            salt,
-            Some(jctx.cancel.clone()),
-        );
+        let out = match (journal_dir, &journal) {
+            (Some(dir), Some(journal)) => {
+                let key = JobKey::new(
+                    "bench-baseline",
+                    case.name,
+                    salt,
+                    bench_config_hash(ctx, case),
+                );
+                let store = SnapshotStore::new(dir, &key.slug());
+                let policy = CheckpointPolicy {
+                    store: &store,
+                    every: jctx.snapshot_every.unwrap_or(DEFAULT_SNAPSHOT_EVERY),
+                    selfcheck: jctx.selfcheck,
+                    metrics: &obs.metrics,
+                };
+                let out = run_scheme_checkpointed(
+                    ctx,
+                    &mix,
+                    case.scheme,
+                    case.fetch,
+                    salt,
+                    Some(jctx.cancel.clone()),
+                    &policy,
+                    |cycle| {
+                        if journal.lock().record_checkpoint(&key, &cycle).is_err() {
+                            obs.metrics.counter_add("harness.journal.write_errors", 1);
+                        }
+                    },
+                )?;
+                if !out.cancelled && !out.deadlocked {
+                    // The final sample supersedes the snapshots; drop
+                    // them so a finished campaign leaves no dead weight.
+                    let _ = store.clear();
+                }
+                out
+            }
+            _ => run_scheme_cancellable(
+                ctx,
+                &mix,
+                case.scheme,
+                case.fetch,
+                salt,
+                Some(jctx.cancel.clone()),
+            ),
+        };
         if out.cancelled {
             // Only the deadline monitor cancels; the supervisor
             // re-classifies this with the configured limit.
@@ -232,8 +280,8 @@ pub fn run_bench_supervised(
         })
     };
 
-    let outcome = match journal_dir {
-        Some(dir) => run_journaled(dir, jobs, job, cfg, obs)?,
+    let outcome = match &journal {
+        Some(j) => run_journaled_in(j, jobs, job, cfg, obs)?,
         None => run_supervised(jobs, job, cfg, obs, |_, _: &BenchSample| {}),
     };
 
@@ -684,6 +732,126 @@ mod tests {
 
         // Identical simulation results; wall time is host noise, so
         // blank it on both sides before comparing.
+        let strip = |mut b: BenchBaseline| {
+            for e in &mut b.exhibits {
+                e.wall_time_s = SeedSummary::from_samples(&[]);
+            }
+            b
+        };
+        assert_eq!(strip(resumed.baseline), strip(clean));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Mid-*job* interrupt acceptance: the shutdown request lands while
+    /// a simulation is in flight, the monitor cancels it at its next
+    /// snapshot boundary (checkpoints already persisted), one snapshot
+    /// is then deliberately bit-flipped, and the resumed campaign must
+    /// restore from the surviving generation and still produce results
+    /// identical to an uninterrupted campaign.
+    #[test]
+    fn mid_job_interrupt_resumes_from_snapshot_past_corruption() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        // 10 snapshot boundaries per measured run: the watcher flips
+        // the flag after the 2nd `checkpointed` marker, leaving ~80 %
+        // of the first job's budget for the cancel to land in.
+        let mut params = crate::context::ExperimentParams::fast();
+        params.warmup_insts = 20_000;
+        params.run_cycles = 100_000;
+        let cfg = HarnessConfig {
+            jobs: Some(1),
+            selfcheck: true,
+            ..HarnessConfig::default()
+        };
+
+        let clean_ctx = ExperimentContext::new(params);
+        let clean = run_bench_supervised(&clean_ctx, 1, &cfg, &HarnessObservers::off(), None)
+            .unwrap()
+            .baseline;
+
+        let dir = std::env::temp_dir().join("smtsim_bench_midrun_resume_test");
+        std::fs::remove_dir_all(&dir).ok();
+
+        let flag = Arc::new(AtomicBool::new(false));
+        let obs = HarnessObservers {
+            metrics: sim_metrics::Metrics::new(),
+            tracer: sim_trace::Tracer::off(),
+            shutdown: Some(Arc::clone(&flag)),
+        };
+        let stop = Arc::clone(&flag);
+        let journal = dir.join("journal.jsonl");
+        let watcher = std::thread::spawn(move || {
+            for _ in 0..4000 {
+                let markers = std::fs::read_to_string(&journal)
+                    .map(|text| text.matches("\"checkpointed\"").count())
+                    .unwrap_or(0);
+                if markers >= 2 {
+                    stop.store(true, Ordering::SeqCst);
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        });
+        let int_ctx = ExperimentContext::new(params);
+        let first = run_bench_supervised(&int_ctx, 1, &cfg, &obs, Some(&dir)).unwrap();
+        watcher.join().unwrap();
+        assert!(first.interrupted, "campaign saw the shutdown request");
+        let written = obs
+            .metrics
+            .snapshot()
+            .counter(crate::checkpoint::C_SNAPSHOTS_WRITTEN)
+            .unwrap_or(0);
+        assert!(written >= 2, "snapshot writes counted: {written}");
+
+        // The interrupted job left its snapshot rotation behind.
+        let snaps: Vec<std::path::PathBuf> = std::fs::read_dir(dir.join("snapshots"))
+            .expect("in-flight job persisted snapshots before the interrupt")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        assert!(
+            snaps.len() >= 2,
+            "two checkpointed markers imply two retained generations: {snaps:?}"
+        );
+
+        // Bit-flip the newest snapshot; resume must fall back past it.
+        let newest = snaps
+            .iter()
+            .max_by_key(|p| p.file_name().unwrap().to_os_string())
+            .unwrap();
+        let mut bytes = std::fs::read(newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(newest, &bytes).unwrap();
+
+        let resume_ctx = ExperimentContext::new(params);
+        let obs2 = HarnessObservers {
+            metrics: sim_metrics::Metrics::new(),
+            tracer: sim_trace::Tracer::off(),
+            shutdown: Some(Arc::new(AtomicBool::new(false))),
+        };
+        let resumed = run_bench_supervised(&resume_ctx, 1, &cfg, &obs2, Some(&dir)).unwrap();
+        assert!(!resumed.interrupted);
+        let m2 = obs2.metrics.snapshot();
+        assert!(
+            m2.counter(crate::checkpoint::C_SNAPSHOTS_RESTORED)
+                .unwrap_or(0)
+                >= 1,
+            "resume restored from a snapshot"
+        );
+        assert!(
+            m2.counter(crate::checkpoint::C_SNAPSHOTS_SKIPPED_CORRUPT)
+                .unwrap_or(0)
+                >= 1,
+            "the bit-flipped newest generation was skipped, and counted"
+        );
+        assert!(
+            resumed.baseline.quarantined.is_empty(),
+            "every job finished: {:?}",
+            resumed.baseline.quarantined
+        );
+
         let strip = |mut b: BenchBaseline| {
             for e in &mut b.exhibits {
                 e.wall_time_s = SeedSummary::from_samples(&[]);

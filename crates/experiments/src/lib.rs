@@ -21,6 +21,7 @@
 //! mutable, so the fan-out is embarrassingly parallel.
 
 pub mod bench;
+pub mod checkpoint;
 pub mod context;
 pub mod exhibits;
 pub mod faultinject;
@@ -40,9 +41,16 @@ pub mod table2;
 pub mod table3;
 
 pub use bench::{BenchBaseline, BENCH_SCHEMA_VERSION};
+pub use checkpoint::{
+    decode_checkpoint, encode_checkpoint, run_measured_checkpointed, CheckpointPolicy, MeasuredRun,
+    C_SELFCHECK_FAILED, C_SNAPSHOTS_RESTORED, C_SNAPSHOTS_SKIPPED_CORRUPT, C_SNAPSHOTS_WRITTEN,
+    DEFAULT_SNAPSHOT_EVERY,
+};
 pub use context::{ExperimentContext, ExperimentParams};
 pub use exhibits::{Exhibit, EXHIBITS};
 pub use faultinject::{FaultInjectReport, FAULT_SCHEMA_VERSION};
 pub use manifest::RunManifest;
 pub use report::Rendered;
-pub use runner::{run_scheme, run_scheme_salted, run_stats_only, RunOutcome};
+pub use runner::{
+    run_scheme, run_scheme_checkpointed, run_scheme_salted, run_stats_only, RunOutcome,
+};

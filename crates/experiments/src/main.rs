@@ -6,6 +6,7 @@
 //! experiments --list
 //! experiments bench-baseline [--seeds N] [--jobs N] [--out FILE]
 //!             [--check-baseline FILE] [--resume DIR] [--deadline-s N]
+//!             [--snapshot-every CYCLES] [--selfcheck]
 //!             [--trace DIR] [--metrics DIR]
 //! experiments fault-inject [--fast] [--seeds N] [--trials N] [--jobs N]
 //!             [--out FILE] [--check-avf] [--resume DIR] [--deadline-s N]
@@ -47,9 +48,18 @@
 //! Both campaign subcommands run under the `sim-harness` supervisor:
 //! `--resume DIR` keeps a checkpoint journal in DIR and replays already
 //! completed jobs on re-run; `--deadline-s N` cancels any single job
-//! after N wall-clock seconds; a SIGINT drains in-flight jobs, flushes
-//! the journal and `DIR/campaign.json`, then exits 130 (a second SIGINT
-//! aborts immediately).
+//! after N wall-clock seconds; a SIGINT or SIGTERM checkpoints or
+//! drains in-flight jobs, flushes the journal and `DIR/campaign.json`,
+//! then exits 130 (a second signal aborts immediately).
+//!
+//! With `--resume DIR`, `bench-baseline` additionally persists mid-run
+//! pipeline snapshots under `DIR/snapshots/` so an interrupted *job*
+//! resumes bit-identically from its latest valid checkpoint instead of
+//! re-simulating from cycle zero; `--snapshot-every CYCLES` sets the
+//! snapshot cadence (default: every 10 000-cycle sampling interval) and
+//! `--selfcheck` validates structural pipeline invariants at every
+//! snapshot boundary, failing the job fast instead of persisting a
+//! poisoned checkpoint.
 //!
 //! Exit codes: `0` success, `1` usage error (bad flags or unknown
 //! exhibits — rejected up front before any simulation starts), `2`
@@ -71,7 +81,7 @@ const EXIT_PARTIAL: i32 = 2;
 const EXIT_FATAL: i32 = 3;
 
 /// Flags that consume the following argument.
-const VALUE_FLAGS: [&str; 11] = [
+const VALUE_FLAGS: [&str; 12] = [
     "--csv",
     "--manifest",
     "--trace",
@@ -83,7 +93,39 @@ const VALUE_FLAGS: [&str; 11] = [
     "--jobs",
     "--resume",
     "--deadline-s",
+    "--snapshot-every",
 ];
+
+/// One-line usage reminder printed alongside flag-validation errors.
+const USAGE: &str = "usage: experiments [--fast] [--jobs N] [EXHIBIT...] | experiments --list \
+     | experiments bench-baseline|fault-inject [--seeds N] [--deadline-s N] \
+     [--resume DIR] [--snapshot-every CYCLES] [--selfcheck] (see crate docs)";
+
+/// Parse one positive-integer flag value. `Ok(None)` when the flag was
+/// not given; `Err` explains the rejection (zero, negative or garbage —
+/// all refused up front, before any simulation starts).
+fn parse_positive(flag: &str, raw: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(raw) = raw else {
+        return Ok(None);
+    };
+    match raw.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        Ok(_) => Err(format!("{flag} wants a positive integer, got 0")),
+        Err(_) => Err(format!("{flag} wants a positive integer, got {raw:?}")),
+    }
+}
+
+/// [`parse_positive`] that exits with usage on a rejected value.
+fn positive_flag(flag: &str, raw: Option<&String>) -> Option<u64> {
+    match parse_positive(flag, raw.map(|s| s.as_str())) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+}
 
 fn main() {
     sim_harness::signal::install_sigint_handler();
@@ -103,23 +145,19 @@ fn main() {
     let manifest_dir = dir_flag("--manifest");
     let trace_dir = dir_flag("--trace");
     let metrics_dir = dir_flag("--metrics");
-    match value_of("--jobs").map(|s| s.parse::<usize>()) {
-        Some(Ok(n)) if n >= 1 => sim_harness::set_default_jobs(n),
-        None => {}
-        bad => {
-            eprintln!("--jobs wants a positive integer, got {bad:?}");
-            std::process::exit(EXIT_USAGE);
-        }
+    if let Some(n) = positive_flag("--jobs", value_of("--jobs")) {
+        sim_harness::set_default_jobs(n as usize);
     }
-    let deadline = match value_of("--deadline-s").map(|s| s.parse::<u64>()) {
-        Some(Ok(n)) if n >= 1 => Some(Duration::from_secs(n)),
-        None => None,
-        bad => {
-            eprintln!("--deadline-s wants a positive integer, got {bad:?}");
-            std::process::exit(EXIT_USAGE);
-        }
-    };
+    let deadline = positive_flag("--deadline-s", value_of("--deadline-s")).map(Duration::from_secs);
+    let snapshot_every = positive_flag("--snapshot-every", value_of("--snapshot-every"));
+    let selfcheck = args.iter().any(|a| a == "--selfcheck");
     let resume_dir = dir_flag("--resume");
+    let campaign_cfg = HarnessConfig {
+        deadline,
+        snapshot_every,
+        selfcheck,
+        ..HarnessConfig::default()
+    };
 
     let mut skip_next = false;
     let requested: Vec<&str> = args
@@ -144,14 +182,7 @@ fn main() {
             eprintln!("bench-baseline takes no exhibit arguments: {extra:?}");
             std::process::exit(EXIT_USAGE);
         }
-        let seeds = match value_of("--seeds").map(|s| s.parse::<u64>()) {
-            Some(Ok(n)) if n >= 1 => n,
-            None => 3,
-            bad => {
-                eprintln!("--seeds wants a positive integer, got {bad:?}");
-                std::process::exit(EXIT_USAGE);
-            }
-        };
+        let seeds = positive_flag("--seeds", value_of("--seeds")).unwrap_or(3);
         run_bench_baseline(
             seeds,
             dir_flag("--out"),
@@ -159,7 +190,7 @@ fn main() {
             metrics_dir,
             trace_dir,
             resume_dir,
-            deadline,
+            campaign_cfg,
         );
         return;
     }
@@ -170,18 +201,8 @@ fn main() {
             eprintln!("fault-inject takes no exhibit arguments: {extra:?}");
             std::process::exit(EXIT_USAGE);
         }
-        let positive = |flag: &str, default: u64| -> u64 {
-            match value_of(flag).map(|s| s.parse::<u64>()) {
-                Some(Ok(n)) if n >= 1 => n,
-                None => default,
-                bad => {
-                    eprintln!("{flag} wants a positive integer, got {bad:?}");
-                    std::process::exit(EXIT_USAGE);
-                }
-            }
-        };
-        let seeds = positive("--seeds", 3);
-        let trials = positive("--trials", 120);
+        let seeds = positive_flag("--seeds", value_of("--seeds")).unwrap_or(3);
+        let trials = positive_flag("--trials", value_of("--trials")).unwrap_or(120);
         run_fault_inject(
             seeds,
             trials,
@@ -191,7 +212,7 @@ fn main() {
             trace_dir,
             metrics_dir,
             resume_dir,
-            deadline,
+            campaign_cfg,
         );
         return;
     }
@@ -417,7 +438,7 @@ fn run_bench_baseline(
     metrics_dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
     resume_dir: Option<PathBuf>,
-    deadline: Option<Duration>,
+    cfg: HarnessConfig,
 ) {
     let mut ctx = ExperimentContext::new(ExperimentParams::bench());
     if let Some(dir) = &metrics_dir {
@@ -430,10 +451,6 @@ fn run_bench_baseline(
         ctx.params.warmup_insts,
         ctx.params.run_cycles
     );
-    let cfg = HarnessConfig {
-        deadline,
-        ..HarnessConfig::default()
-    };
     let obs = campaign_observers(trace_dir.as_deref(), "bench");
     let t0 = Instant::now();
     let campaign = match bench::run_bench_supervised(&ctx, seeds, &cfg, &obs, resume_dir.as_deref())
@@ -505,7 +522,7 @@ fn run_fault_inject(
     trace_dir: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
     resume_dir: Option<PathBuf>,
-    deadline: Option<Duration>,
+    cfg: HarnessConfig,
 ) {
     let params = if fast {
         ExperimentParams::fast()
@@ -527,10 +544,6 @@ fn run_fault_inject(
         ctx.params.warmup_insts,
         ctx.params.run_cycles
     );
-    let cfg = HarnessConfig {
-        deadline,
-        ..HarnessConfig::default()
-    };
     let obs = campaign_observers(trace_dir.as_deref(), "inject");
     let t0 = Instant::now();
     let campaign = match faultinject::run_fault_inject_supervised(
@@ -585,4 +598,41 @@ fn run_fault_inject(
         }
     }
     std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_positive;
+
+    #[test]
+    fn positive_integers_parse() {
+        assert_eq!(parse_positive("--jobs", Some("1")), Ok(Some(1)));
+        assert_eq!(parse_positive("--seeds", Some("42")), Ok(Some(42)));
+        assert_eq!(
+            parse_positive("--snapshot-every", Some("10000")),
+            Ok(Some(10_000))
+        );
+    }
+
+    #[test]
+    fn absent_flag_is_none_not_an_error() {
+        assert_eq!(parse_positive("--jobs", None), Ok(None));
+    }
+
+    #[test]
+    fn zero_is_rejected_with_the_flag_named() {
+        let err = parse_positive("--deadline-s", Some("0")).unwrap_err();
+        assert!(err.contains("--deadline-s"), "{err}");
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_garbage_are_rejected() {
+        for bad in ["-3", "abc", "1.5", "", " 7", "0x10", "18446744073709551616"] {
+            let err = parse_positive("--jobs", Some(bad))
+                .expect_err(&format!("{bad:?} must be rejected"));
+            assert!(err.contains("--jobs"), "{err}");
+            assert!(err.contains(&format!("{bad:?}")), "{err}");
+        }
+    }
 }

@@ -357,6 +357,7 @@ mod tests {
                 watchdogs: 0,
                 diverged: 0,
                 io_errors: 0,
+                corrupt: 0,
                 quarantined: 1,
                 skipped: 4,
             },

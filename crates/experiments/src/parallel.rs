@@ -32,7 +32,7 @@ fn exhibit_cfg() -> HarnessConfig {
         backoff: Backoff::none(),
         quarantine_threshold: 1,
         deadline: None,
-        jobs: None,
+        ..HarnessConfig::default()
     }
 }
 

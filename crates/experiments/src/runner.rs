@@ -1,9 +1,14 @@
 //! Low-level simulation driver shared by every experiment.
 
+use crate::checkpoint::{
+    decode_checkpoint, run_measured_checkpointed, CheckpointPolicy, C_SNAPSHOTS_RESTORED,
+    C_SNAPSHOTS_SKIPPED_CORRUPT,
+};
 use crate::context::ExperimentContext;
 use crate::manifest::{slug, RunManifest};
 use avf::{AvfCollector, AvfReport};
 use iq_reliability::Scheme;
+use sim_harness::JobError;
 use sim_metrics::summary::MetricsSummary;
 use sim_metrics::Metrics;
 use sim_trace::chrome::ChromeTraceSink;
@@ -130,6 +135,129 @@ pub fn run_scheme_cancellable(
     };
     ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
     outcome
+}
+
+/// [`run_scheme_cancellable`] with mid-run checkpointing: before
+/// simulating, the job's [`SnapshotStore`](sim_harness::SnapshotStore)
+/// is consulted and the newest valid snapshot — if any — is restored
+/// (skipping corrupt generations, with a typed
+/// [`JobError::Corrupt`] when every generation is bad), so the run
+/// continues bit-identically from the last checkpoint instead of
+/// re-simulating from cycle zero. A restored run skips warmup — the
+/// warmed-up, mid-measurement machine *is* the snapshot.
+///
+/// During the measured window a snapshot lands in the store every
+/// `policy.every` simulated cycles (rounded to the sampling-interval
+/// grid) and `on_checkpoint` fires once per durable snapshot — the hook
+/// the campaign layer uses to mark the journal `checkpointed`. With
+/// `policy.selfcheck`, structural invariants are validated at every
+/// boundary and the run fails fast as [`JobError::Diverged`] instead of
+/// persisting a poisoned checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn run_scheme_checkpointed(
+    ctx: &ExperimentContext,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+    salt: u64,
+    cancel: Option<CancelToken>,
+    policy: &CheckpointPolicy<'_>,
+    mut on_checkpoint: impl FnMut(u64),
+) -> Result<RunOutcome, JobError> {
+    let mut timings = PhaseTimings::default();
+    let run_id = ctx.next_run_id();
+
+    let programs = PhaseTimings::time(&mut timings.generate_s, || {
+        ctx.mix_programs_salted(mix, salt)
+    });
+    // Fresh (pipeline, collector, dvm-handle) factory. The restore path
+    // decodes each snapshot candidate into freshly built objects, so a
+    // partial restore from a corrupt file can never contaminate the
+    // state an older valid snapshot then restores into.
+    let build = || {
+        let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
+        let pipeline = Pipeline::new(ctx.machine.clone(), programs.clone(), policies);
+        let collector = AvfCollector::new(&ctx.machine, ctx.params.ace_window, 10_000);
+        (pipeline, collector, dvm_handle)
+    };
+
+    let restored = policy.store.load_latest_valid(|bytes| {
+        let (mut p, mut c, h) = build();
+        let cycle = decode_checkpoint(bytes, &mut p, &mut c)?;
+        Ok((p, c, h, cycle))
+    })?;
+    let (mut pipeline, collector, dvm_handle) = match restored {
+        Some(loaded) => {
+            if loaded.skipped_corrupt > 0 {
+                policy
+                    .metrics
+                    .counter_add(C_SNAPSHOTS_SKIPPED_CORRUPT, loaded.skipped_corrupt as u64);
+                eprintln!(
+                    "experiments: skipped {} corrupt snapshot(s) for {} / {}; resuming from cycle {}",
+                    loaded.skipped_corrupt,
+                    mix.name,
+                    scheme.label(),
+                    loaded.cycle,
+                );
+            }
+            policy.metrics.counter_add(C_SNAPSHOTS_RESTORED, 1);
+            let (p, c, h, _) = loaded.value;
+            (p, c, h)
+        }
+        None => {
+            let (mut p, c, h) = build();
+            let start =
+                PhaseTimings::time(&mut timings.warmup_s, || p.warm_up(ctx.params.warmup_insts));
+            (p, c.with_start_cycle(start), h)
+        }
+    };
+    if let Some(token) = cancel {
+        pipeline.set_cancel_token(token);
+    }
+    attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
+    let metrics = attach_metrics(ctx, &mut pipeline);
+
+    // The cycle budget is measured relative to the snapshotted
+    // measurement origin, so a restored run resumed with the same
+    // limits stops at the same absolute cycle a straight-through run
+    // would have.
+    let run = PhaseTimings::time(&mut timings.measure_s, || {
+        run_measured_checkpointed(
+            &mut pipeline,
+            collector,
+            SimLimits::cycles(ctx.params.run_cycles),
+            policy,
+            &mut on_checkpoint,
+        )
+    })?;
+    let result = run.result;
+    let collector = run.collector;
+    let avf = PhaseTimings::time(&mut timings.collect_s, || collector.report());
+    pipeline.tracer().flush();
+    let stage_seconds = stage_snapshot(&pipeline);
+    let sim_metrics = export_metrics(ctx, metrics.as_ref(), run_id, mix, scheme);
+
+    let outcome = RunOutcome {
+        mix: mix.name.clone(),
+        scheme: scheme.label(),
+        fetch,
+        avf,
+        throughput_ipc: result.stats.throughput_ipc(),
+        harmonic_ipc: result.stats.harmonic_ipc(),
+        l2_misses: result.stats.l2_misses,
+        flushes: result.stats.flushes,
+        mispredict_rate: result.stats.mispredict_rate(),
+        governor_stall_cycles: result.stats.governor_stall_cycles,
+        dvm_avg_ratio: dvm_handle.map(|h| h.lock().average_ratio()),
+        deadlocked: result.deadlocked,
+        cancelled: result.cancelled,
+        salt,
+        timings,
+        stage_seconds,
+        sim_metrics,
+    };
+    ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
+    Ok(outcome)
 }
 
 /// Drive one combination for its raw pipeline statistics only, with no
@@ -303,6 +431,62 @@ mod tests {
         assert_eq!(manifests[0].metrics.l2_misses, out.l2_misses);
         assert_eq!(manifests[0].seeds.len(), manifests[0].benchmarks.len());
         assert!(ctx.drain_manifests().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn checkpointed_rerun_restores_and_matches_bit_for_bit() {
+        let dir = std::env::temp_dir().join("smtsim_runner_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let ctx = ExperimentContext::new(ExperimentParams::bench());
+        let mix = workload_gen::mix_by_name("CPU-A").unwrap();
+        let store = sim_harness::SnapshotStore::new(&dir, "cpu-a-baseline");
+        let metrics = Metrics::off();
+        let policy = CheckpointPolicy {
+            store: &store,
+            every: 10_000,
+            selfcheck: true,
+            metrics: &metrics,
+        };
+
+        let mut checkpoints = 0u64;
+        let first = run_scheme_checkpointed(
+            &ctx,
+            &mix,
+            Scheme::Baseline,
+            FetchPolicyKind::Icount,
+            0,
+            None,
+            &policy,
+            |_| checkpoints += 1,
+        )
+        .unwrap();
+        assert!(!first.deadlocked && !first.cancelled);
+        assert!(checkpoints >= 2, "bench budget spans several boundaries");
+        assert!(!store.list().is_empty(), "snapshots persisted on disk");
+
+        // A second invocation restores the newest snapshot (taken at
+        // the last mid-run boundary), simulates only the tail, and
+        // must land on the exact same statistics — and skip warmup.
+        let resumed = run_scheme_checkpointed(
+            &ctx,
+            &mix,
+            Scheme::Baseline,
+            FetchPolicyKind::Icount,
+            0,
+            None,
+            &policy,
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(resumed.timings.warmup_s, 0.0, "restored runs skip warmup");
+        assert_eq!(resumed.avf.iq_avf.to_bits(), first.avf.iq_avf.to_bits());
+        assert_eq!(
+            resumed.throughput_ipc.to_bits(),
+            first.throughput_ipc.to_bits()
+        );
+        assert_eq!(resumed.l2_misses, first.l2_misses);
+        assert_eq!(resumed.flushes, first.flushes);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use micro_isa::ThreadId;
 use parking_lot::Mutex;
 use sim_metrics::Metrics;
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 use std::sync::Arc;
@@ -396,6 +397,54 @@ impl DispatchGovernor for DvmController {
         metrics.gauge_set("dvm.wq_ratio", || ratio);
         metrics.gauge_set("dvm.response_active", || if active { 1.0 } else { 0.0 });
         self.metrics = metrics;
+    }
+
+    /// The controller loop state plus the shared telemetry contents —
+    /// the telemetry must round-trip so the static-ratio derivation
+    /// (average of the dynamic run's ratio) matches an uninterrupted
+    /// run's. Configuration (target, mode, periods) is reconstructed by
+    /// the caller and covered by the snapshot config hash.
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.wq_ratio);
+        w.put(&self.response_active);
+        w.put(&self.ratio_ok);
+        w.put(&self.restore_tid);
+        w.put(&self.prev_bits);
+        w.put(&self.prev_cycles);
+        w.put(&self.last_est);
+        w.put(&self.last_now);
+        let t = self.telemetry.lock();
+        w.put(&t.ratio_sum);
+        w.put(&t.ratio_samples);
+        w.put(&t.triggers);
+        w.put(&t.l2_triggers);
+        w.put(&t.denied_dispatches);
+        w.put(&t.restores);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let wq_ratio: f64 = r.get()?;
+        if !wq_ratio.is_finite() || wq_ratio < 0.0 {
+            return Err(SnapError::Corrupt(format!(
+                "DVM wq_ratio {wq_ratio} is not a valid ratio"
+            )));
+        }
+        self.wq_ratio = wq_ratio;
+        self.response_active = r.get()?;
+        self.ratio_ok = r.get()?;
+        self.restore_tid = r.get()?;
+        self.prev_bits = r.get()?;
+        self.prev_cycles = r.get()?;
+        self.last_est = r.get()?;
+        self.last_now = r.get()?;
+        let mut t = self.telemetry.lock();
+        t.ratio_sum = r.get()?;
+        t.ratio_samples = r.get()?;
+        t.triggers = r.get()?;
+        t.l2_triggers = r.get()?;
+        t.denied_dispatches = r.get()?;
+        t.restores = r.get()?;
+        Ok(())
     }
 }
 

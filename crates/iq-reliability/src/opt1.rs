@@ -19,6 +19,7 @@
 
 use micro_isa::ThreadId;
 use sim_metrics::Metrics;
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 
@@ -179,6 +180,18 @@ impl DispatchGovernor for DynamicIqAllocator {
 
     fn set_metrics(&mut self, metrics: Metrics) {
         self.set_metrics_inner(metrics);
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&(self.iql as u64));
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.iql = r.get_u64()? as usize;
+        if self.iql == 0 {
+            return Err(SnapError::Corrupt("opt1 IQL cap of 0 is invalid".into()));
+        }
+        Ok(())
     }
 }
 

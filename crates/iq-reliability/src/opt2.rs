@@ -18,6 +18,7 @@
 use crate::opt1::{DynamicIqAllocator, IplRegionTable};
 use micro_isa::ThreadId;
 use sim_metrics::Metrics;
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 use sim_trace::{GovernorEvent, TraceEvent, Tracer};
 use smt_sim::{DispatchGovernor, GovernorView, IntervalSnapshot};
 
@@ -127,6 +128,16 @@ impl DispatchGovernor for L2MissSensitiveAllocator {
         let mode = self.flush_mode;
         metrics.gauge_set("opt2.flush_mode", || if mode { 1.0 } else { 0.0 });
         self.metrics = metrics;
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.flush_mode);
+        self.opt1.save_state(w);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.flush_mode = r.get()?;
+        self.opt1.restore_state(r)
     }
 }
 

@@ -1,0 +1,182 @@
+//! Resume-identity property: interrupting any scheme × fetch-policy
+//! combination at an interval boundary, snapshotting the pipeline *and*
+//! the AVF collector, and continuing on freshly constructed objects
+//! must reproduce the uninterrupted run bit for bit — machine state,
+//! AVF report (every f64 compared by bit pattern) and DVM telemetry.
+
+use avf::{AvfCollector, AvfReport};
+use iq_reliability::Scheme;
+use proptest::prelude::*;
+use sim_snapshot::{SnapReader, SnapWriter};
+use smt_sim::{FetchPolicyKind, HookAction, MachineConfig, Pipeline, SimLimits};
+use std::sync::Arc;
+use workload_gen::{generate_program_salted, model_by_name};
+
+const WORKLOAD_POOL: [&str; 8] = [
+    "gcc", "mcf", "vpr", "perlbmk", "equake", "swim", "bzip2", "eon",
+];
+const INTERVAL: u64 = 10_000;
+const ACE_WINDOW: usize = 2_000;
+const INSTRUCTIONS: u64 = 60_000;
+
+fn scheme_by_index(i: usize) -> Scheme {
+    match i {
+        0 => Scheme::Baseline,
+        1 => Scheme::Visa,
+        2 => Scheme::VisaOpt1,
+        3 => Scheme::VisaOpt2,
+        4 => Scheme::DvmDynamic { target: 0.3 },
+        _ => Scheme::DvmStatic {
+            target: 0.3,
+            ratio: 1.5,
+        },
+    }
+}
+
+fn build(
+    scheme: Scheme,
+    fetch: FetchPolicyKind,
+    salt: u64,
+) -> (Pipeline, AvfCollector, Option<iq_reliability::DvmHandle>) {
+    let cfg = MachineConfig::table2();
+    let programs = (0..4)
+        .map(|i| {
+            let name = WORKLOAD_POOL[(salt as usize + i) % WORKLOAD_POOL.len()];
+            Arc::new(generate_program_salted(&model_by_name(name).unwrap(), salt))
+        })
+        .collect();
+    let (policies, handle) = scheme.policies(fetch, cfg.iq_size);
+    let collector = AvfCollector::new(&cfg, ACE_WINDOW, INTERVAL);
+    (Pipeline::new(cfg, programs, policies), collector, handle)
+}
+
+fn assert_reports_identical(a: &AvfReport, b: &AvfReport) {
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.committed, b.committed);
+    for (x, y, what) in [
+        (a.iq_avf, b.iq_avf, "iq_avf"),
+        (a.rob_avf, b.rob_avf, "rob_avf"),
+        (a.rf_avf, b.rf_avf, "rf_avf"),
+        (a.fu_avf, b.fu_avf, "fu_avf"),
+        (a.lsq_avf, b.lsq_avf, "lsq_avf"),
+        (a.ace_fraction, b.ace_fraction, "ace_fraction"),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what} differs: {x} vs {y}");
+    }
+    let (sa, sb) = (a.iq_interval_avf.samples(), b.iq_interval_avf.samples());
+    assert_eq!(sa.len(), sb.len(), "interval series length");
+    for (k, (x, y)) in sa.iter().zip(sb.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "interval {k} AVF differs");
+    }
+}
+
+fn check_resume_identity(scheme: Scheme, fetch: FetchPolicyKind, salt: u64) {
+    let limits = SimLimits::instructions(INSTRUCTIONS);
+
+    // Uninterrupted reference.
+    let (mut p_ref, mut c_ref, h_ref) = build(scheme, fetch, salt);
+    let r_ref = p_ref.run(limits, &mut c_ref);
+    assert!(!r_ref.deadlocked && !r_ref.cancelled);
+    let ref_machine = p_ref.save_snapshot();
+    let ref_report = c_ref.report();
+
+    // Interrupted at the first interval boundary: snapshot the machine
+    // and the collector, stop. Both must be captured *inside* the hook
+    // — it fires before the observer's `on_finish` drains the ACE
+    // window — so the collector is shared between the observer seat and
+    // the hook through a RefCell (the harness pattern).
+    let mut machine_snap: Option<Vec<u8>> = None;
+    let mut collector_snap: Option<Vec<u8>> = None;
+    let (mut p2, c2, _h2) = build(scheme, fetch, salt);
+    let shared = std::cell::RefCell::new(c2);
+    struct SharedObserver<'a>(&'a std::cell::RefCell<AvfCollector>);
+    impl smt_sim::SimObserver for SharedObserver<'_> {
+        fn on_commit(&mut self, ev: &smt_sim::RetireEvent) {
+            self.0.borrow_mut().on_commit(ev);
+        }
+        fn on_squash(&mut self, ev: &smt_sim::RetireEvent) {
+            self.0.borrow_mut().on_squash(ev);
+        }
+        fn on_finish(&mut self, final_cycle: u64) {
+            self.0.borrow_mut().on_finish(final_cycle);
+        }
+    }
+    let mut obs = SharedObserver(&shared);
+    let r2 = p2.run_hooked(limits, &mut obs, &mut |p| {
+        if p.cycle() >= INTERVAL {
+            machine_snap = Some(p.save_snapshot());
+            let mut w = SnapWriter::new();
+            shared.borrow().save_state(&mut w);
+            collector_snap = Some(w.into_bytes());
+            return HookAction::Stop;
+        }
+        HookAction::Continue
+    });
+    assert!(r2.cancelled);
+    let machine_snap = machine_snap.expect("run crossed an interval boundary");
+    let collector_snap = collector_snap.unwrap();
+
+    // Resume on freshly constructed objects.
+    let (mut p3, mut c3, h3) = build(scheme, fetch, salt);
+    p3.restore_snapshot(&machine_snap).unwrap();
+    p3.check_invariants().unwrap();
+    let mut r = SnapReader::new(&collector_snap);
+    c3.restore_state(&mut r).unwrap();
+    assert_eq!(r.remaining(), 0, "collector snapshot fully consumed");
+    let r3 = p3.run(limits, &mut c3);
+    assert!(!r3.deadlocked && !r3.cancelled);
+
+    assert_eq!(
+        p3.save_snapshot(),
+        ref_machine,
+        "resumed machine state differs from uninterrupted run"
+    );
+    assert_reports_identical(&c3.report(), &ref_report);
+
+    // DVM telemetry must also round-trip (it feeds the static-ratio
+    // derivation), including counts accrued before the checkpoint.
+    if let (Some(a), Some(b)) = (h_ref, h3) {
+        let (a, b) = (a.lock(), b.lock());
+        assert_eq!(a.ratio_sum.to_bits(), b.ratio_sum.to_bits());
+        assert_eq!(a.ratio_samples, b.ratio_samples);
+        assert_eq!(a.triggers, b.triggers);
+        assert_eq!(a.l2_triggers, b.l2_triggers);
+        assert_eq!(a.denied_dispatches, b.denied_dispatches);
+        assert_eq!(a.restores, b.restores);
+    }
+}
+
+proptest! {
+    // Full-pipeline runs are expensive on one core; a handful of random
+    // scheme × fetch × salt draws per invocation keeps the suite fast
+    // while the dedicated unit tests below pin the paper's headline
+    // configurations.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn resume_identity_over_random_configs(
+        scheme_idx in 0usize..6,
+        fetch_idx in 0usize..5,
+        salt in 0u64..64,
+    ) {
+        check_resume_identity(
+            scheme_by_index(scheme_idx),
+            FetchPolicyKind::ALL[fetch_idx],
+            salt,
+        );
+    }
+}
+
+#[test]
+fn resume_identity_visa_opt2_flush() {
+    check_resume_identity(Scheme::VisaOpt2, FetchPolicyKind::Flush, 3);
+}
+
+#[test]
+fn resume_identity_dvm_dynamic_icount() {
+    check_resume_identity(
+        Scheme::DvmDynamic { target: 0.2 },
+        FetchPolicyKind::Icount,
+        5,
+    );
+}

@@ -5,6 +5,8 @@
 //! stored as a flat `Vec` of ways for locality; LRU is an 8-bit age per
 //! way (saturating), which is exact for associativities ≤ 255.
 
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
 /// Geometry and latency of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -168,6 +170,46 @@ impl Cache {
             w.lru = w.lru.saturating_add(1);
         }
         self.ways[range.start + way].lru = 0;
+    }
+
+    /// Serialize all ways plus hit/miss counters.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put_u64(self.ways.len() as u64);
+        for way in &self.ways {
+            w.put(&way.tag);
+            w.put(&way.valid);
+            w.put_u8(way.lru);
+        }
+        self.stats.save(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`] onto a cache of the
+    /// same geometry.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_u64()? as usize;
+        if n != self.ways.len() {
+            return Err(SnapError::Corrupt("cache geometry mismatch".into()));
+        }
+        for way in &mut self.ways {
+            way.tag = r.get()?;
+            way.valid = r.get()?;
+            way.lru = r.get_u8()?;
+        }
+        self.stats = CacheStats::load(r)?;
+        Ok(())
+    }
+}
+
+impl Snap for CacheStats {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.accesses);
+        w.put(&self.misses);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CacheStats {
+            accesses: r.get()?,
+            misses: r.get()?,
+        })
     }
 }
 

@@ -228,6 +228,48 @@ impl MemoryHierarchy {
         self.itlb.reset_stats();
         self.dtlb.reset_stats();
     }
+
+    /// Serialize every cache level and TLB (tags, LRU, counters) so a
+    /// restored run sees the identical hit/miss sequence.
+    pub fn save_state(&self, w: &mut sim_snapshot::SnapWriter) {
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+        self.itlb.save_state(w);
+        self.dtlb.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`] onto a hierarchy of
+    /// the same configuration.
+    pub fn restore_state(
+        &mut self,
+        r: &mut sim_snapshot::SnapReader<'_>,
+    ) -> Result<(), sim_snapshot::SnapError> {
+        self.l1i.restore_state(r)?;
+        self.l1d.restore_state(r)?;
+        self.l2.restore_state(r)?;
+        self.itlb.restore_state(r)?;
+        self.dtlb.restore_state(r)
+    }
+}
+
+impl sim_snapshot::Snap for HierarchyStats {
+    fn save(&self, w: &mut sim_snapshot::SnapWriter) {
+        self.l1i.save(w);
+        self.l1d.save(w);
+        self.l2.save(w);
+        self.itlb.save(w);
+        self.dtlb.save(w);
+    }
+    fn load(r: &mut sim_snapshot::SnapReader<'_>) -> Result<Self, sim_snapshot::SnapError> {
+        Ok(HierarchyStats {
+            l1i: r.get()?,
+            l1d: r.get()?,
+            l2: r.get()?,
+            itlb: r.get()?,
+            dtlb: r.get()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,19 @@ impl Tlb {
     pub fn reset_stats(&mut self) {
         self.inner.reset_stats();
     }
+
+    /// Serialize the underlying translation cache state.
+    pub fn save_state(&self, w: &mut sim_snapshot::SnapWriter) {
+        self.inner.save_state(w);
+    }
+
+    /// Restore state saved by [`Self::save_state`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut sim_snapshot::SnapReader<'_>,
+    ) -> Result<(), sim_snapshot::SnapError> {
+        self.inner.restore_state(r)
+    }
 }
 
 #[cfg(test)]

@@ -38,6 +38,7 @@ pub mod inst;
 pub mod mem;
 pub mod op;
 pub mod reg;
+pub mod snap;
 
 pub use encoding::{EncodedInst, ENCODED_BITS};
 pub use inst::{BranchInfo, BranchKind, BranchSem, CtrlOutcome, DynInst, DynSeq, StaticInst};

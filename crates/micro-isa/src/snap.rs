@@ -1,0 +1,139 @@
+//! Snapshot codec impls for ISA types.
+//!
+//! `DynInst` descriptors sit in every pipeline structure a checkpoint
+//! must capture (fetch queues, IQ, ROB payloads), so the ISA crate owns
+//! their bit-exact serialization. Encodings reuse the ISA's own compact
+//! forms — `OpClass::opcode()` and `Reg::encode6()` — so a snapshot
+//! cannot disagree with the instruction-word encoding about what a
+//! register or opcode number means.
+
+use crate::{CtrlOutcome, DynInst, OpClass, Reg};
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for OpClass {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u8(self.opcode());
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let code = r.get_u8()?;
+        OpClass::from_opcode(code).ok_or_else(|| SnapError::Corrupt(format!("bad opcode {code}")))
+    }
+}
+
+impl Snap for Reg {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u8(self.encode6());
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let bits = r.get_u8()?;
+        if bits & !0x3f != 0 {
+            return Err(SnapError::Corrupt(format!(
+                "bad register encoding {bits:#x}"
+            )));
+        }
+        Ok(Reg::decode6(bits))
+    }
+}
+
+impl Snap for CtrlOutcome {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.taken);
+        w.put(&self.next_pc);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CtrlOutcome {
+            taken: r.get()?,
+            next_pc: r.get()?,
+        })
+    }
+}
+
+impl Snap for DynInst {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.seq);
+        w.put_u8(self.tid);
+        w.put(&self.dyn_idx);
+        w.put(&self.pc);
+        w.put(&self.op);
+        w.put(&self.dest);
+        w.put(&self.srcs);
+        w.put(&self.mem_addr);
+        w.put(&self.ctrl);
+        w.put(&self.ace_hint);
+        w.put(&self.wrong_path);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(DynInst {
+            seq: r.get()?,
+            tid: r.get_u8()?,
+            dyn_idx: r.get()?,
+            pc: r.get()?,
+            op: r.get()?,
+            dest: r.get()?,
+            srcs: r.get()?,
+            mem_addr: r.get()?,
+            ctrl: r.get()?,
+            ace_hint: r.get()?,
+            wrong_path: r.get()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_inst() -> DynInst {
+        DynInst {
+            seq: 321,
+            tid: 2,
+            dyn_idx: 17,
+            pc: 0x4000,
+            op: OpClass::Load,
+            dest: Some(Reg::int(7)),
+            srcs: [Some(Reg::int(3)), None],
+            mem_addr: Some(0xdead_0000),
+            ctrl: None,
+            ace_hint: true,
+            wrong_path: false,
+        }
+    }
+
+    #[test]
+    fn dyn_inst_roundtrips() {
+        let inst = sample_inst();
+        let mut w = SnapWriter::new();
+        w.put(&inst);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert_eq!(r.get::<DynInst>().unwrap(), inst);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn ctrl_outcome_and_fp_regs_roundtrip() {
+        let inst = DynInst {
+            op: OpClass::CondBranch,
+            dest: None,
+            srcs: [Some(Reg::fp(31)), Some(Reg::int(0))],
+            mem_addr: None,
+            ctrl: Some(CtrlOutcome {
+                taken: true,
+                next_pc: 0x88,
+            }),
+            ..sample_inst()
+        };
+        let mut w = SnapWriter::new();
+        w.put(&inst);
+        let bytes = w.into_bytes();
+        assert_eq!(SnapReader::new(&bytes).get::<DynInst>().unwrap(), inst);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let mut r = SnapReader::new(&[0x1f]);
+        assert!(matches!(r.get::<OpClass>(), Err(SnapError::Corrupt(_))));
+        let mut r = SnapReader::new(&[0xff]);
+        assert!(matches!(r.get::<Reg>(), Err(SnapError::Corrupt(_))));
+    }
+}

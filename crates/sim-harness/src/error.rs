@@ -20,6 +20,13 @@ pub enum JobError {
     Diverged { detail: String },
     /// Filesystem or serialization failure.
     Io { detail: String },
+    /// Persisted state (a checkpoint snapshot, typically) failed its
+    /// integrity check — checksum mismatch, truncation, or an invariant
+    /// violation caught while decoding. Distinct from `Io` because the
+    /// bytes were *readable* but wrong, which points at torn writes or
+    /// bit rot rather than a filesystem error, and because recovery
+    /// differs: fall back to an older snapshot instead of retrying.
+    Corrupt { detail: String },
 }
 
 impl JobError {
@@ -31,6 +38,7 @@ impl JobError {
             JobError::Watchdog { .. } => "watchdog",
             JobError::Diverged { .. } => "diverged",
             JobError::Io { .. } => "io",
+            JobError::Corrupt { .. } => "corrupt",
         }
     }
 
@@ -57,6 +65,7 @@ impl std::fmt::Display for JobError {
             JobError::Watchdog { detail } => write!(f, "watchdog: {detail}"),
             JobError::Diverged { detail } => write!(f, "diverged: {detail}"),
             JobError::Io { detail } => write!(f, "io: {detail}"),
+            JobError::Corrupt { detail } => write!(f, "corrupt: {detail}"),
         }
     }
 }
@@ -94,6 +103,12 @@ mod tests {
                     detail: "disk full".into(),
                 },
                 "io",
+            ),
+            (
+                JobError::Corrupt {
+                    detail: "snapshot checksum mismatch".into(),
+                },
+                "corrupt",
             ),
         ];
         for (err, kind) in cases {

@@ -1,14 +1,24 @@
 //! Crash-safe file writes.
 
-use std::fs;
-use std::io;
+use std::fs::{self, File};
+use std::io::{self, Write};
 use std::path::Path;
 
-/// Write `contents` to `path` atomically: the bytes go to a `.tmp`
-/// sibling first and are moved into place with `fs::rename`, so readers
-/// (and a campaign resuming after a crash) see either the old file or
-/// the new one, never a torn half-write.
+/// Write `contents` to `path` atomically and durably: the bytes go to a
+/// `.tmp` sibling first, are fsynced, moved into place with
+/// `fs::rename`, and then the *parent directory* is fsynced too. The
+/// rename gives atomicity (readers see the old file or the new one,
+/// never a torn half-write); the two fsyncs give durability across
+/// power loss — without the directory fsync the rename itself can be
+/// lost, leaving a fully written file that simply is not there after
+/// reboot, which for snapshot rotation would silently roll a resumed
+/// campaign back one checkpoint further than reported.
 pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
+    atomic_write_bytes(path, contents.as_bytes())
+}
+
+/// Byte-slice variant of [`atomic_write`] (snapshot files are binary).
+pub fn atomic_write_bytes(path: &Path, contents: &[u8]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             fs::create_dir_all(parent)?;
@@ -20,8 +30,28 @@ pub fn atomic_write(path: &Path, contents: &str) -> io::Result<()> {
     let mut tmp_name = file_name.to_os_string();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
-    fs::write(&tmp, contents)?;
-    fs::rename(&tmp, path)
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// Fsync the directory containing `path` so a just-completed rename
+/// survives power loss. Directories cannot be opened for syncing on
+/// every platform; where they cannot, durability degrades to what the
+/// filesystem offers and this is a no-op.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            File::open(parent)?.sync_all()?;
+        }
+    }
+    let _ = path;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -54,5 +84,15 @@ mod tests {
         let path = dir.join("a/b/c.txt");
         atomic_write(&path, "deep").unwrap();
         assert_eq!(fs::read_to_string(&path).unwrap(), "deep");
+    }
+
+    #[test]
+    fn binary_contents_roundtrip() {
+        let dir = scratch("binary_contents_roundtrip");
+        let path = dir.join("state.snap");
+        let payload: Vec<u8> = (0..=255u8).collect();
+        atomic_write_bytes(&path, &payload).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), payload);
+        assert!(!dir.join("state.snap.tmp").exists());
     }
 }

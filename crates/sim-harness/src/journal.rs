@@ -17,7 +17,20 @@ use crate::error::JobError;
 /// Version stamped into every record; records with a different version
 /// are skipped (and counted) on load so old journals never corrupt a
 /// resumed campaign silently.
-pub const JOURNAL_SCHEMA_VERSION: u32 = 1;
+///
+/// History: v1 had no `state` field (every record was a completion);
+/// v2 added `state` so mid-run checkpoints can live in the same journal
+/// as final results. v1 journals replay as empty (all records counted
+/// `wrong_version`), which merely re-runs their jobs.
+pub const JOURNAL_SCHEMA_VERSION: u32 = 2;
+
+/// `state` value for a finished job whose payload is the final result.
+pub const STATE_DONE: &str = "done";
+
+/// `state` value for a job interrupted mid-run; the payload points at
+/// its latest snapshot (campaign-defined, typically a cycle count and
+/// snapshot directory) rather than a result.
+pub const STATE_CHECKPOINTED: &str = "checkpointed";
 
 /// Identity of one unit of campaign work. Two runs of the same binary
 /// with the same key must produce the same result (simulations are
@@ -85,7 +98,18 @@ impl std::fmt::Display for JobKey {
 pub struct JournalRecord {
     pub v: u32,
     pub key: JobKey,
+    /// [`STATE_DONE`] or [`STATE_CHECKPOINTED`].
+    pub state: String,
     pub payload: String,
+}
+
+/// Minimal probe used to classify unparseable lines: if the line at
+/// least carries a `v` field with the wrong version it is an old-schema
+/// record, not a torn write. Extra fields are ignored on decode, so
+/// this parses any record shape that has ever stamped a version.
+#[derive(Deserialize)]
+struct VersionProbe {
+    v: u32,
 }
 
 /// Statistics from loading an existing journal file.
@@ -104,6 +128,10 @@ pub struct Journal {
     path: PathBuf,
     file: File,
     records: BTreeMap<JobKey, String>,
+    /// Latest checkpoint payload per key. A key leaves this map the
+    /// moment a `done` record lands — a completion supersedes any
+    /// checkpoint taken on the way there.
+    checkpoints: BTreeMap<JobKey, String>,
     load_stats: JournalLoadStats,
 }
 
@@ -120,6 +148,7 @@ impl Journal {
         fs::create_dir_all(dir).map_err(io_err)?;
         let path = dir.join(Self::FILE_NAME);
         let mut records = BTreeMap::new();
+        let mut checkpoints = BTreeMap::new();
         let mut load_stats = JournalLoadStats::default();
         if path.exists() {
             let reader = BufReader::new(File::open(&path).map_err(io_err)?);
@@ -130,11 +159,33 @@ impl Journal {
                 }
                 match serde::json::from_str::<JournalRecord>(&line) {
                     Ok(rec) if rec.v == JOURNAL_SCHEMA_VERSION => {
-                        records.insert(rec.key, rec.payload);
-                        load_stats.loaded += 1;
+                        match rec.state.as_str() {
+                            STATE_DONE => {
+                                checkpoints.remove(&rec.key);
+                                records.insert(rec.key, rec.payload);
+                                load_stats.loaded += 1;
+                            }
+                            STATE_CHECKPOINTED => {
+                                if !records.contains_key(&rec.key) {
+                                    checkpoints.insert(rec.key, rec.payload);
+                                }
+                                load_stats.loaded += 1;
+                            }
+                            // Unknown state from a future minor change:
+                            // ignore the record rather than misread it.
+                            _ => load_stats.wrong_version += 1,
+                        }
                     }
                     Ok(_) => load_stats.wrong_version += 1,
-                    Err(_) => load_stats.torn += 1,
+                    // A line that will not parse as the current schema
+                    // but still carries a version stamp is an old-schema
+                    // record (e.g. v1 without `state`), not a torn write.
+                    Err(_) => match serde::json::from_str::<VersionProbe>(&line) {
+                        Ok(probe) if probe.v != JOURNAL_SCHEMA_VERSION => {
+                            load_stats.wrong_version += 1
+                        }
+                        _ => load_stats.torn += 1,
+                    },
                 }
             }
         }
@@ -147,6 +198,7 @@ impl Journal {
             path,
             file,
             records,
+            checkpoints,
             load_stats,
         })
     }
@@ -182,20 +234,64 @@ impl Journal {
         })
     }
 
-    /// Append one completed job. The record is written as a single line
-    /// and flushed before returning, so a later crash cannot lose it.
-    pub fn record<R: Serialize>(&mut self, key: &JobKey, result: &R) -> Result<(), JobError> {
-        let payload = serde::json::to_string(result);
+    /// Latest checkpoint payload for `key`, unless a `done` record has
+    /// superseded it.
+    pub fn lookup_checkpoint(&self, key: &JobKey) -> Option<&str> {
+        self.checkpoints.get(key).map(|s| s.as_str())
+    }
+
+    /// Decode a journaled checkpoint payload.
+    pub fn decode_checkpoint<R: Deserialize>(&self, key: &JobKey) -> Option<Result<R, JobError>> {
+        self.lookup_checkpoint(key).map(|payload| {
+            serde::json::from_str::<R>(payload).map_err(|e| JobError::Corrupt {
+                detail: format!("journal checkpoint for {key} failed to decode: {e:?}"),
+            })
+        })
+    }
+
+    fn append<R: Serialize>(
+        &mut self,
+        key: &JobKey,
+        state: &str,
+        body: &R,
+    ) -> Result<String, JobError> {
+        let payload = serde::json::to_string(body);
         let rec = JournalRecord {
             v: JOURNAL_SCHEMA_VERSION,
             key: key.clone(),
+            state: state.to_string(),
             payload: payload.clone(),
         };
         let mut line = serde::json::to_string(&rec);
         line.push('\n');
         self.file.write_all(line.as_bytes()).map_err(io_err)?;
         self.file.flush().map_err(io_err)?;
+        Ok(payload)
+    }
+
+    /// Append one completed job. The record is written as a single line
+    /// and flushed before returning, so a later crash cannot lose it.
+    /// Completion supersedes any checkpoint recorded for the same key.
+    pub fn record<R: Serialize>(&mut self, key: &JobKey, result: &R) -> Result<(), JobError> {
+        let payload = self.append(key, STATE_DONE, result)?;
+        self.checkpoints.remove(key);
         self.records.insert(key.clone(), payload);
+        Ok(())
+    }
+
+    /// Append a mid-run checkpoint marker for `key`. The payload is
+    /// campaign-defined — typically the snapshot cycle plus enough
+    /// metadata to locate the snapshot file — and is returned by
+    /// [`lookup_checkpoint`] on resume until a `done` record lands.
+    pub fn record_checkpoint<R: Serialize>(
+        &mut self,
+        key: &JobKey,
+        checkpoint: &R,
+    ) -> Result<(), JobError> {
+        let payload = self.append(key, STATE_CHECKPOINTED, checkpoint)?;
+        if !self.records.contains_key(key) {
+            self.checkpoints.insert(key.clone(), payload);
+        }
         Ok(())
     }
 }
@@ -297,7 +393,8 @@ mod tests {
         let future = JournalRecord {
             v: JOURNAL_SCHEMA_VERSION + 1,
             key: key(2),
-            payload: "\"v2\"".to_string(),
+            state: STATE_DONE.to_string(),
+            payload: "\"future\"".to_string(),
         };
         let mut line = serde::json::to_string(&future);
         line.push('\n');
@@ -308,6 +405,76 @@ mod tests {
         assert_eq!(j.len(), 1);
         assert_eq!(j.load_stats().wrong_version, 1);
         assert!(j.lookup(&key(2)).is_none());
+    }
+
+    #[test]
+    fn v1_records_without_state_count_as_wrong_version() {
+        let dir = scratch("v1_records_without_state");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.record(&key(1), &"current".to_string()).unwrap();
+        }
+        // A v1-era line: valid JSON, version stamp, but no `state`
+        // field. It must be classified as an old schema, not a torn
+        // write, and must not replay.
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(dir.join(Journal::FILE_NAME))
+            .unwrap();
+        f.write_all(
+            b"{\"v\":1,\"key\":{\"exhibit\":\"bench-baseline\",\"scheme\":\"icount\",\
+              \"seed\":9,\"config_hash\":1},\"payload\":\"\\\"old\\\"\"}\n",
+        )
+        .unwrap();
+        drop(f);
+
+        let j = Journal::open(&dir).unwrap();
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.load_stats().wrong_version, 1);
+        assert_eq!(j.load_stats().torn, 0);
+        assert!(j.lookup(&key(9)).is_none());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_until_done_supersedes() {
+        let dir = scratch("checkpoint_roundtrips");
+        {
+            let mut j = Journal::open(&dir).unwrap();
+            j.record_checkpoint(&key(1), &"cycle-10000".to_string())
+                .unwrap();
+            j.record_checkpoint(&key(1), &"cycle-20000".to_string())
+                .unwrap();
+            j.record_checkpoint(&key(2), &"cycle-10000".to_string())
+                .unwrap();
+            // Key 2 finishes; its checkpoint is now obsolete.
+            j.record(&key(2), &"result".to_string()).unwrap();
+            assert!(j.lookup_checkpoint(&key(2)).is_none());
+        }
+        let j = Journal::open(&dir).unwrap();
+        // Latest checkpoint wins for the still-running job.
+        assert_eq!(
+            j.decode_checkpoint::<String>(&key(1)).unwrap().unwrap(),
+            "cycle-20000"
+        );
+        // The finished job replays its result, not its checkpoint.
+        assert!(j.lookup_checkpoint(&key(2)).is_none());
+        assert_eq!(j.decode::<String>(&key(2)).unwrap().unwrap(), "result");
+        // Checkpoints never appear in the completed-replay map.
+        assert!(j.lookup(&key(1)).is_none());
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn undecodable_checkpoint_reports_corrupt() {
+        let dir = scratch("undecodable_checkpoint");
+        let mut j = Journal::open(&dir).unwrap();
+        j.record_checkpoint(&key(1), &"not-a-number".to_string())
+            .unwrap();
+        let err = j.decode_checkpoint::<u64>(&key(1)).unwrap().unwrap_err();
+        assert!(
+            matches!(err, JobError::Corrupt { .. }),
+            "expected Corrupt, got {err:?}"
+        );
     }
 
     #[test]

@@ -27,9 +27,16 @@
 //!   and only simulates the remainder. The journal load tolerates a
 //!   torn final record, so a crash at any byte boundary loses at most
 //!   the job that was being written.
-//! * **Graceful interrupt** — a SIGINT (see [`signal`]) stops job
-//!   claiming, drains in-flight work, and leaves the journal complete;
-//!   a second SIGINT exits immediately.
+//! * **Mid-run snapshots** — jobs that honor
+//!   [`HarnessConfig::snapshot_every`] persist versioned, checksummed
+//!   pipeline snapshots through a rotating [`SnapshotStore`] and mark
+//!   the journal `checkpointed`; a resumed campaign restores the latest
+//!   valid snapshot (falling back past corrupt files, failing typed
+//!   with [`JobError::Corrupt`] when none survive) and continues
+//!   bit-identically instead of re-simulating from cycle zero.
+//! * **Graceful interrupt** — a SIGINT or SIGTERM (see [`signal`])
+//!   stops job claiming, drains or checkpoints in-flight work, and
+//!   leaves the journal complete; a second signal exits immediately.
 //!
 //! Everything the supervisor does is observable: `harness.*` counters
 //! land in a [`sim_metrics::Metrics`] registry and job lifecycle events
@@ -43,14 +50,16 @@ pub mod fsutil;
 pub mod journal;
 pub mod quarantine;
 pub mod signal;
+pub mod snapshot;
 pub mod supervisor;
 
 pub use backoff::Backoff;
 pub use error::JobError;
-pub use fsutil::atomic_write;
+pub use fsutil::{atomic_write, atomic_write_bytes};
 pub use journal::{fnv1a, JobKey, Journal, JOURNAL_SCHEMA_VERSION};
 pub use quarantine::{Quarantine, QuarantineEntry};
+pub use snapshot::{LoadedSnapshot, SnapshotStore};
 pub use supervisor::{
-    default_jobs, run_journaled, run_supervised, set_default_jobs, CampaignOutcome, HarnessConfig,
-    HarnessObservers, HarnessStats, JobCtx, JobOutcome,
+    default_jobs, run_journaled, run_journaled_in, run_supervised, set_default_jobs,
+    CampaignOutcome, HarnessConfig, HarnessObservers, HarnessStats, JobCtx, JobOutcome,
 };

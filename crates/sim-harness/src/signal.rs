@@ -1,10 +1,13 @@
 //! Graceful-interrupt support without a libc dependency.
 //!
-//! The first SIGINT flips a process-global atomic flag that the
-//! supervisor polls between jobs: workers stop claiming new work, drain
-//! what is in flight, and the journal/manifest are flushed so the
-//! campaign can resume. A second SIGINT bypasses the drain and exits
-//! immediately with status 130 (the conventional 128+SIGINT).
+//! The first SIGINT or SIGTERM flips a process-global atomic flag that
+//! the supervisor polls between jobs: workers stop claiming new work,
+//! drain (or checkpoint) what is in flight, and the journal/manifest
+//! are flushed so the campaign can resume. A second signal bypasses the
+//! drain and exits immediately with status 130 (the conventional
+//! 128+SIGINT). SIGTERM gets the identical treatment because batch
+//! schedulers and container runtimes deliver it, not SIGINT, ahead of a
+//! hard kill — a campaign must checkpoint on either.
 //!
 //! The build environment has no `libc` crate, so the handler is wired
 //! through raw `extern "C"` declarations of the POSIX functions we
@@ -16,7 +19,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 /// POSIX signal number for SIGINT (Ctrl-C).
 pub const SIGINT: i32 = 2;
 
-/// Exit status conventionally reported for death-by-SIGINT.
+/// POSIX signal number for SIGTERM (polite kill; what `kill`, cgroup
+/// teardown and job schedulers send first).
+pub const SIGTERM: i32 = 15;
+
+/// Exit status conventionally reported for death-by-interrupt.
 pub const EXIT_INTERRUPTED: i32 = 130;
 
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
@@ -29,23 +36,25 @@ extern "C" {
 }
 
 #[cfg(unix)]
-extern "C" fn on_sigint(_signum: i32) {
-    // Async-signal-safe: one atomic swap, and _exit on the second hit.
+extern "C" fn on_interrupt(_signum: i32) {
+    // Async-signal-safe: one atomic swap, and _exit on the second hit
+    // (from either signal — a SIGINT after a SIGTERM also force-exits).
     if INTERRUPTED.swap(true, Ordering::SeqCst) {
         unsafe { _exit(EXIT_INTERRUPTED) }
     }
 }
 
-/// Install the SIGINT handler. Idempotent; later calls are no-ops. On
-/// non-Unix targets this does nothing and [`interrupted`] only reflects
-/// flags set programmatically.
+/// Install the SIGINT + SIGTERM handlers. Idempotent; later calls are
+/// no-ops. On non-Unix targets this does nothing and [`interrupted`]
+/// only reflects flags set programmatically.
 pub fn install_sigint_handler() {
     if INSTALLED.swap(true, Ordering::SeqCst) {
         return;
     }
     #[cfg(unix)]
     unsafe {
-        signal(SIGINT, on_sigint);
+        signal(SIGINT, on_interrupt);
+        signal(SIGTERM, on_interrupt);
     }
 }
 
@@ -85,19 +94,37 @@ mod tests {
         assert!(!interrupted());
     }
 
-    // One real-signal test. It must not run concurrently with other
-    // SIGINT-sensitive tests; it is the only test in this crate that
-    // raises a signal, and the handler is installed first so the
-    // process does not die.
+    // Real-signal tests. They must not run concurrently with other
+    // interrupt-sensitive tests; these are the only tests in this crate
+    // that raise signals, and the handler is installed first so the
+    // process does not die. Rust runs tests in one process, so both
+    // raises share one handler installation — serialize via a lock.
+    #[cfg(unix)]
+    static RAISE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[cfg(unix)]
     #[test]
     fn real_sigint_sets_flag_once_handler_installed() {
+        let _g = RAISE_LOCK.lock().unwrap();
         install_sigint_handler();
         reset_interrupted();
         unsafe {
             raise(SIGINT);
         }
         assert!(interrupted());
+        reset_interrupted();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn real_sigterm_drains_like_sigint() {
+        let _g = RAISE_LOCK.lock().unwrap();
+        install_sigint_handler();
+        reset_interrupted();
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(interrupted(), "SIGTERM must set the same drain flag");
         reset_interrupted();
     }
 }

@@ -1,0 +1,288 @@
+//! On-disk rotation of mid-run simulator snapshots.
+//!
+//! A [`SnapshotStore`] owns the snapshot files for one job (one
+//! [`JobKey`](crate::JobKey) slug) inside a campaign directory. Writes
+//! go through [`crate::fsutil::atomic_write_bytes`] (tmp + fsync +
+//! rename + parent-dir fsync) so a crash can never leave a torn
+//! snapshot under the final name, and the store keeps the last
+//! [`SnapshotStore::KEEP`] generations so that even a snapshot that
+//! lands on disk intact but fails its *content* checksum on resume
+//! (bit rot, truncation by an external actor) still leaves an older
+//! generation to fall back to.
+//!
+//! The store is deliberately ignorant of the snapshot payload format —
+//! decoding (and therefore integrity checking) is the caller's
+//! `decode` closure, which for pipeline snapshots is
+//! `Pipeline::restore_snapshot` with its magic/schema/config-hash/CRC
+//! validation. The store's job is purely: newest first, skip invalid,
+//! typed [`JobError::Corrupt`] when nothing valid remains.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::error::JobError;
+use crate::fsutil::atomic_write_bytes;
+
+/// A successfully loaded snapshot plus where it came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedSnapshot<R> {
+    /// Simulated cycle the snapshot was taken at (from the file name).
+    pub cycle: u64,
+    /// Whatever the caller's decode closure produced.
+    pub value: R,
+    /// Newer snapshot files that failed to decode and were skipped to
+    /// reach this one. Zero on the happy path; non-zero means the
+    /// resume silently lost `skipped_corrupt` checkpoint intervals.
+    pub skipped_corrupt: usize,
+}
+
+/// Rotating snapshot directory for one job.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+    slug: String,
+}
+
+impl SnapshotStore {
+    /// Generations retained after each save. Two, not one: the freshest
+    /// snapshot is the one most at risk (it was being written closest
+    /// to any crash), so a fallback must always exist.
+    pub const KEEP: usize = 2;
+
+    /// File extension for snapshot files.
+    pub const EXT: &'static str = "snap";
+
+    /// Store for job `slug` under `dir/snapshots/`.
+    pub fn new(dir: &Path, slug: &str) -> SnapshotStore {
+        SnapshotStore {
+            dir: dir.join("snapshots"),
+            slug: slug.to_string(),
+        }
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path a snapshot at `cycle` lives at. Cycle counts are
+    /// zero-padded so lexicographic and numeric order agree.
+    pub fn path_for(&self, cycle: u64) -> PathBuf {
+        self.dir
+            .join(format!("{}.c{:015}.{}", self.slug, cycle, Self::EXT))
+    }
+
+    /// Persist `bytes` as the snapshot for `cycle`, then prune old
+    /// generations down to [`Self::KEEP`].
+    pub fn save(&self, cycle: u64, bytes: &[u8]) -> Result<PathBuf, JobError> {
+        let path = self.path_for(cycle);
+        atomic_write_bytes(&path, bytes).map_err(|e| JobError::Io {
+            detail: format!("writing snapshot {}: {e}", path.display()),
+        })?;
+        self.prune()?;
+        Ok(path)
+    }
+
+    /// All snapshot files for this slug, newest (highest cycle) first.
+    pub fn list(&self) -> Vec<(u64, PathBuf)> {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let prefix = format!("{}.c", self.slug);
+        let suffix = format!(".{}", Self::EXT);
+        let mut found: Vec<(u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name().into_string().ok()?;
+                let digits = name.strip_prefix(&prefix)?.strip_suffix(&suffix)?;
+                let cycle: u64 = digits.parse().ok()?;
+                Some((cycle, entry.path()))
+            })
+            .collect();
+        found.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        found
+    }
+
+    /// Load the newest snapshot that `decode` accepts, skipping (not
+    /// deleting) newer files that fail. Returns:
+    ///
+    /// * `Ok(None)` — no snapshot files exist; start from cycle 0.
+    /// * `Ok(Some(loaded))` — a valid snapshot; `skipped_corrupt > 0`
+    ///   when newer generations had to be skipped to find it.
+    /// * `Err(JobError::Corrupt)` — snapshots exist but every one of
+    ///   them failed to decode; resuming would silently replay from
+    ///   scratch, so the caller must decide that explicitly.
+    pub fn load_latest_valid<R>(
+        &self,
+        mut decode: impl FnMut(&[u8]) -> Result<R, String>,
+    ) -> Result<Option<LoadedSnapshot<R>>, JobError> {
+        let files = self.list();
+        if files.is_empty() {
+            return Ok(None);
+        }
+        let mut failures: Vec<String> = Vec::new();
+        for (cycle, path) in &files {
+            let verdict = match fs::read(path) {
+                Ok(bytes) => decode(&bytes),
+                // An unreadable file is as useless as a corrupt one for
+                // resuming; fall through to the next generation.
+                Err(e) => Err(format!("read failed: {e}")),
+            };
+            match verdict {
+                Ok(value) => {
+                    return Ok(Some(LoadedSnapshot {
+                        cycle: *cycle,
+                        value,
+                        skipped_corrupt: failures.len(),
+                    }))
+                }
+                Err(why) => failures.push(format!("{} (cycle {cycle}): {why}", path.display())),
+            }
+        }
+        Err(JobError::Corrupt {
+            detail: format!(
+                "all {} snapshot(s) for {} are invalid: {}",
+                failures.len(),
+                self.slug,
+                failures.join("; ")
+            ),
+        })
+    }
+
+    /// Remove every snapshot file for this slug (a completed job's
+    /// snapshots are dead weight once its final result is journaled).
+    pub fn clear(&self) -> Result<(), JobError> {
+        for (_, path) in self.list() {
+            fs::remove_file(&path).map_err(|e| JobError::Io {
+                detail: format!("removing snapshot {}: {e}", path.display()),
+            })?;
+        }
+        Ok(())
+    }
+
+    fn prune(&self) -> Result<(), JobError> {
+        for (_, path) in self.list().into_iter().skip(Self::KEEP) {
+            fs::remove_file(&path).map_err(|e| JobError::Io {
+                detail: format!("pruning snapshot {}: {e}", path.display()),
+            })?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("sim-harness-snapshot").join(name);
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Toy "format": 8-byte payload, last byte is a xor checksum of the
+    /// first seven. Stands in for the real container's CRC.
+    fn encode(body: [u8; 7]) -> Vec<u8> {
+        let check = body.iter().fold(0u8, |a, b| a ^ b);
+        let mut v = body.to_vec();
+        v.push(check);
+        v
+    }
+
+    fn decode(bytes: &[u8]) -> Result<[u8; 7], String> {
+        if bytes.len() != 8 {
+            return Err(format!("bad length {}", bytes.len()));
+        }
+        let body: [u8; 7] = bytes[..7].try_into().unwrap();
+        if body.iter().fold(0u8, |a, b| a ^ b) != bytes[7] {
+            return Err("checksum mismatch".to_string());
+        }
+        Ok(body)
+    }
+
+    #[test]
+    fn empty_store_loads_none() {
+        let dir = scratch("empty_store_loads_none");
+        let store = SnapshotStore::new(&dir, "job-a");
+        assert!(store.list().is_empty());
+        assert!(store.load_latest_valid(decode).unwrap().is_none());
+    }
+
+    #[test]
+    fn saves_rotate_keeping_last_two() {
+        let dir = scratch("saves_rotate");
+        let store = SnapshotStore::new(&dir, "job-a");
+        for cycle in [10_000u64, 20_000, 30_000] {
+            store.save(cycle, &encode([cycle as u8; 7])).unwrap();
+        }
+        let cycles: Vec<u64> = store.list().into_iter().map(|(c, _)| c).collect();
+        assert_eq!(cycles, vec![30_000, 20_000], "newest first, pruned to 2");
+
+        let loaded = store.load_latest_valid(decode).unwrap().unwrap();
+        assert_eq!(loaded.cycle, 30_000);
+        assert_eq!(loaded.skipped_corrupt, 0);
+        assert_eq!(loaded.value, [48u8; 7]); // 30_000 as u8
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let dir = scratch("corrupt_falls_back");
+        let store = SnapshotStore::new(&dir, "job-a");
+        store.save(10_000, &encode([1; 7])).unwrap();
+        store.save(20_000, &encode([2; 7])).unwrap();
+
+        // Flip one bit in the newest snapshot.
+        let newest = store.path_for(20_000);
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes[3] ^= 0x10;
+        fs::write(&newest, &bytes).unwrap();
+
+        let loaded = store.load_latest_valid(decode).unwrap().unwrap();
+        assert_eq!(loaded.cycle, 10_000, "fell back past the corrupt file");
+        assert_eq!(loaded.skipped_corrupt, 1);
+        assert_eq!(loaded.value, [1; 7]);
+    }
+
+    #[test]
+    fn all_corrupt_is_a_typed_error() {
+        let dir = scratch("all_corrupt");
+        let store = SnapshotStore::new(&dir, "job-a");
+        store.save(10_000, &encode([1; 7])).unwrap();
+        store.save(20_000, &encode([2; 7])).unwrap();
+        for cycle in [10_000u64, 20_000] {
+            let path = store.path_for(cycle);
+            let mut bytes = fs::read(&path).unwrap();
+            bytes[0] ^= 0x01;
+            fs::write(&path, &bytes).unwrap();
+        }
+        let err = store.load_latest_valid(decode).unwrap_err();
+        assert!(
+            matches!(err, JobError::Corrupt { ref detail } if detail.contains("checksum mismatch")),
+            "expected Corrupt listing the failures, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn stores_for_different_slugs_are_disjoint() {
+        let dir = scratch("disjoint_slugs");
+        let a = SnapshotStore::new(&dir, "job-a");
+        let b = SnapshotStore::new(&dir, "job-b");
+        a.save(10_000, &encode([7; 7])).unwrap();
+        assert!(b.list().is_empty());
+        assert!(b.load_latest_valid(decode).unwrap().is_none());
+        assert_eq!(a.list().len(), 1);
+    }
+
+    #[test]
+    fn clear_removes_only_this_slug() {
+        let dir = scratch("clear_removes");
+        let a = SnapshotStore::new(&dir, "job-a");
+        let b = SnapshotStore::new(&dir, "job-b");
+        a.save(10_000, &encode([1; 7])).unwrap();
+        b.save(10_000, &encode([2; 7])).unwrap();
+        a.clear().unwrap();
+        assert!(a.list().is_empty());
+        assert_eq!(b.list().len(), 1);
+    }
+}

@@ -34,6 +34,15 @@ pub struct HarnessConfig {
     pub deadline: Option<Duration>,
     /// Worker-pool width; `None` falls back to [`default_jobs`].
     pub jobs: Option<usize>,
+    /// Checkpoint cadence in simulated cycles; `None` keeps the
+    /// simulator's default interval. Jobs read this through
+    /// [`JobCtx::snapshot_every`] — the harness itself never snapshots,
+    /// it only carries the policy to the closures that can.
+    pub snapshot_every: Option<u64>,
+    /// Paranoid mode: jobs should run structural invariant checks at
+    /// every snapshot boundary and fail fast (as `JobError::Diverged`)
+    /// on the first violation instead of writing a poisoned checkpoint.
+    pub selfcheck: bool,
 }
 
 impl Default for HarnessConfig {
@@ -44,6 +53,8 @@ impl Default for HarnessConfig {
             quarantine_threshold: 3,
             deadline: None,
             jobs: None,
+            snapshot_every: None,
+            selfcheck: false,
         }
     }
 }
@@ -56,6 +67,11 @@ pub struct JobCtx {
     pub attempt: u32,
     /// Cooperative cancellation token for this attempt.
     pub cancel: CancelToken,
+    /// Checkpoint cadence requested by [`HarnessConfig::snapshot_every`].
+    pub snapshot_every: Option<u64>,
+    /// Paranoid invariant checking requested by
+    /// [`HarnessConfig::selfcheck`].
+    pub selfcheck: bool,
     deadline_hit: Arc<AtomicBool>,
 }
 
@@ -104,6 +120,7 @@ pub struct HarnessStats {
     pub watchdogs: u64,
     pub diverged: u64,
     pub io_errors: u64,
+    pub corrupt: u64,
     pub quarantined: u64,
     pub skipped: u64,
 }
@@ -116,6 +133,7 @@ impl HarnessStats {
             JobError::Watchdog { .. } => self.watchdogs += 1,
             JobError::Diverged { .. } => self.diverged += 1,
             JobError::Io { .. } => self.io_errors += 1,
+            JobError::Corrupt { .. } => self.corrupt += 1,
         }
     }
 }
@@ -220,6 +238,7 @@ fn failure_counter(err: &JobError) -> &'static str {
         JobError::Watchdog { .. } => "harness.failures.watchdog",
         JobError::Diverged { .. } => "harness.failures.diverged",
         JobError::Io { .. } => "harness.failures.io",
+        JobError::Corrupt { .. } => "harness.failures.corrupt",
     }
 }
 
@@ -240,9 +259,13 @@ fn sleep_interruptible(total: Duration, obs: &HarnessObservers) -> bool {
     }
 }
 
-/// A deadline-board slot: when this attempt expires, its token to
-/// cancel, and the flag that re-classifies its failure as `Deadline`.
-type DeadlineSlot = Option<(Instant, CancelToken, Arc<AtomicBool>)>;
+/// A monitor-board slot for one in-flight attempt: its wall-clock
+/// expiry (when a deadline is configured), its token to cancel, and
+/// the flag that re-classifies its failure as `Deadline`. The monitor
+/// also fires the token on a shutdown request, so an interrupted
+/// checkpointing job stops at its next snapshot boundary instead of
+/// running its full budget out.
+type DeadlineSlot = Option<(Option<Instant>, CancelToken, Arc<AtomicBool>)>;
 
 /// Run `items` through the supervised pool. `f` is invoked as
 /// `f(&item, &ctx)` and may fail typed (`Err(JobError)`), panic, or
@@ -291,17 +314,30 @@ where
     };
 
     std::thread::scope(|scope| {
-        // Deadline monitor: cancels any attempt whose budget expired.
-        if cfg.deadline.is_some() {
+        // Monitor: cancels any attempt whose wall-clock budget expired,
+        // and — on a shutdown request — cancels every in-flight attempt
+        // so cooperative jobs stop (having checkpointed) at their next
+        // interval boundary instead of draining their full budget.
+        // Spawned unconditionally: with `obs.shutdown` unset the
+        // shutdown source is the process-global SIGINT/SIGTERM flag,
+        // which can flip at any moment.
+        {
             let board = &board;
             let monitor_stop = &monitor_stop;
             scope.spawn(move || {
                 while !monitor_stop.load(Ordering::SeqCst) {
+                    let shutdown = obs.shutdown_requested();
                     for slot in board {
                         let mut slot = slot.lock();
                         if let Some((expires, token, hit)) = slot.as_ref() {
-                            if Instant::now() >= *expires {
+                            if expires.is_some_and(|at| Instant::now() >= at) {
                                 hit.store(true, Ordering::Release);
+                                token.cancel();
+                                *slot = None;
+                            } else if shutdown {
+                                // Not a deadline: leave `hit` unset so
+                                // the worker classifies the fallout as
+                                // an interrupt, not a timeout.
                                 token.cancel();
                                 *slot = None;
                             }
@@ -350,12 +386,15 @@ where
                         let ctx = JobCtx {
                             attempt,
                             cancel: cancel.clone(),
+                            snapshot_every: cfg.snapshot_every,
+                            selfcheck: cfg.selfcheck,
                             deadline_hit: Arc::clone(&deadline_hit),
                         };
-                        if let Some(budget) = cfg.deadline {
-                            *board[worker_id].lock() =
-                                Some((Instant::now() + budget, cancel, Arc::clone(&deadline_hit)));
-                        }
+                        *board[worker_id].lock() = Some((
+                            cfg.deadline.map(|budget| Instant::now() + budget),
+                            cancel,
+                            Arc::clone(&deadline_hit),
+                        ));
                         trace(key, attempt, "started", "");
                         let result = catch_unwind(AssertUnwindSafe(|| f(item, &ctx)));
                         *board[worker_id].lock() = None;
@@ -387,6 +426,15 @@ where
                                     attempts: attempt,
                                     from_journal: false,
                                 };
+                            }
+                            Err(err) if !ctx.deadline_expired() && obs.shutdown_requested() => {
+                                // The monitor cancelled this attempt for
+                                // the interrupt; the job is unfinished,
+                                // not failed. Leave it skipped so a
+                                // resume re-runs it — from its latest
+                                // snapshot, if it wrote any.
+                                trace(key, attempt, "interrupted", &err.to_string());
+                                break JobOutcome::Skipped;
                             }
                             Err(err) => {
                                 obs.metrics.counter_add(failure_counter(&err), 1);
@@ -470,8 +518,29 @@ where
     R: Send + Serialize + Deserialize,
     F: Fn(&T, &JobCtx) -> Result<R, JobError> + Sync,
 {
-    let mut journal = Journal::open(dir)?;
-    let load = journal.load_stats();
+    let journal = Mutex::new(Journal::open(dir)?);
+    run_journaled_in(&journal, items, f, cfg, obs)
+}
+
+/// [`run_journaled`] against a journal the caller opened (and keeps a
+/// handle to). Campaigns whose job closures write their own journal
+/// records mid-run — `checkpointed` markers at snapshot boundaries —
+/// share one `Mutex<Journal>` between this supervisor (which appends
+/// `done` records as jobs complete) and the closures, so every append
+/// lands in the same serialized stream.
+pub fn run_journaled_in<T, R, F>(
+    journal: &Mutex<Journal>,
+    items: Vec<(JobKey, T)>,
+    f: F,
+    cfg: &HarnessConfig,
+    obs: &HarnessObservers,
+) -> Result<CampaignOutcome<R>, JobError>
+where
+    T: Send + Sync,
+    R: Send + Serialize + Deserialize,
+    F: Fn(&T, &JobCtx) -> Result<R, JobError> + Sync,
+{
+    let load = journal.lock().load_stats();
     if load.torn > 0 {
         obs.metrics.counter_add(C_JOURNAL_TORN, load.torn as u64);
     }
@@ -484,7 +553,7 @@ where
     let mut replayed: Vec<(usize, JobKey, R)> = Vec::new();
     let mut fresh: Vec<(usize, (JobKey, T))> = Vec::new();
     for (idx, (key, item)) in items.into_iter().enumerate() {
-        match journal.decode::<R>(&key) {
+        match journal.lock().decode::<R>(&key) {
             Some(Ok(value)) => {
                 obs.metrics.counter_add(C_RESUMED, 1);
                 obs.tracer.emit(|| TraceEvent::Harness {
@@ -505,7 +574,6 @@ where
     let fresh_indices: Vec<usize> = fresh.iter().map(|(idx, _)| *idx).collect();
     let fresh_items: Vec<(JobKey, T)> = fresh.into_iter().map(|(_, pair)| pair).collect();
 
-    let journal = Mutex::new(&mut journal);
     let sub = run_supervised(fresh_items, f, cfg, obs, |key, value: &R| {
         if journal.lock().record(key, value).is_err() {
             obs.metrics.counter_add(C_JOURNAL_WRITE_ERRORS, 1);
@@ -572,8 +640,8 @@ mod tests {
             max_attempts: 3,
             backoff: Backoff::none(),
             quarantine_threshold: 3,
-            deadline: None,
             jobs: Some(2),
+            ..HarnessConfig::default()
         }
     }
 
@@ -601,6 +669,28 @@ mod tests {
         let values: Vec<u64> = out.values().into_iter().copied().collect();
         assert_eq!(values, vec![0, 2, 4, 6, 8, 10, 12, 14]);
         assert_eq!(out.stats.completed, 8);
+    }
+
+    #[test]
+    fn ctx_carries_snapshot_policy() {
+        let (obs, _) = obs_with_flag();
+        let cfg = HarnessConfig {
+            snapshot_every: Some(5_000),
+            selfcheck: true,
+            ..fast_cfg()
+        };
+        let out = run_supervised(
+            items(1),
+            |_seed, ctx: &JobCtx| {
+                assert_eq!(ctx.snapshot_every, Some(5_000));
+                assert!(ctx.selfcheck);
+                Ok::<u64, JobError>(0)
+            },
+            &cfg,
+            &obs,
+            |_, _: &u64| {},
+        );
+        assert!(out.fully_completed());
     }
 
     #[test]
@@ -683,6 +773,7 @@ mod tests {
             quarantine_threshold: 1,
             deadline: Some(Duration::from_millis(60)),
             jobs: Some(1),
+            ..HarnessConfig::default()
         };
         let out = run_supervised(
             vec![(key(0), 0u64)],

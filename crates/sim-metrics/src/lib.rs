@@ -350,6 +350,133 @@ impl Metrics {
             None => MetricsSnapshot::default(),
         }
     }
+
+    /// Serialize the full registry (counters, gauges, histograms, series,
+    /// interval metadata) for a mid-run checkpoint. An off handle writes
+    /// just an off marker.
+    pub fn save_state(&self, w: &mut sim_snapshot::SnapWriter) {
+        use sim_snapshot::Snap;
+        let reg = match &self.0 {
+            None => {
+                w.put(&false);
+                return;
+            }
+            Some(reg) => reg.lock(),
+        };
+        w.put(&true);
+        w.put_u64(reg.counters.len() as u64);
+        for (k, v) in &reg.counters {
+            k.to_string().save(w);
+            v.save(w);
+        }
+        w.put_u64(reg.gauges.len() as u64);
+        for (k, v) in &reg.gauges {
+            k.to_string().save(w);
+            v.save(w);
+        }
+        w.put_u64(reg.histograms.len() as u64);
+        for (k, h) in &reg.histograms {
+            k.to_string().save(w);
+            h.bounds.save(w);
+            h.counts.save(w);
+            h.count.save(w);
+            h.sum.save(w);
+            h.min.save(w);
+            h.max.save(w);
+        }
+        w.put_u64(reg.series.len() as u64);
+        for (k, pts) in &reg.series {
+            k.to_string().save(w);
+            w.put_u64(pts.len() as u64);
+            for p in pts {
+                p.interval.save(w);
+                p.value.save(w);
+            }
+        }
+        w.put_u64(reg.intervals.len() as u64);
+        for iv in &reg.intervals {
+            iv.index.save(w);
+            iv.start_cycle.save(w);
+            iv.cycles.save(w);
+        }
+    }
+
+    /// Restore registry contents saved by [`Self::save_state`],
+    /// replacing everything accumulated so far. The snapshot's on/off
+    /// state must match this handle's — a run resumed without the same
+    /// `--metrics` setting would silently diverge otherwise.
+    ///
+    /// Instrument names are interned (leaked) to satisfy the registry's
+    /// `&'static str` keys; the set of names is small and fixed per
+    /// binary, so this is bounded.
+    pub fn restore_state(
+        &self,
+        r: &mut sim_snapshot::SnapReader<'_>,
+    ) -> Result<(), sim_snapshot::SnapError> {
+        use sim_snapshot::{SnapError, SnapReader};
+        let was_on: bool = r.get()?;
+        let reg = match (&self.0, was_on) {
+            (None, false) => return Ok(()),
+            (Some(reg), true) => reg,
+            _ => {
+                return Err(SnapError::Corrupt(
+                    "metrics on/off state differs from snapshot (re-run with the same --metrics setting)"
+                        .into(),
+                ))
+            }
+        };
+        fn intern(r: &mut SnapReader<'_>) -> Result<&'static str, SnapError> {
+            let s: String = r.get()?;
+            Ok(Box::leak(s.into_boxed_str()))
+        }
+        let mut fresh = Registry::new();
+        for _ in 0..r.get_u64()? {
+            let k = intern(r)?;
+            fresh.counters.insert(k, r.get()?);
+        }
+        for _ in 0..r.get_u64()? {
+            let k = intern(r)?;
+            fresh.gauges.insert(k, r.get()?);
+        }
+        for _ in 0..r.get_u64()? {
+            let k = intern(r)?;
+            let bounds: Vec<f64> = r.get()?;
+            let counts: Vec<u64> = r.get()?;
+            if counts.len() != bounds.len() + 1 {
+                return Err(SnapError::Corrupt("histogram bucket count mismatch".into()));
+            }
+            let h = Histogram {
+                bounds,
+                counts,
+                count: r.get()?,
+                sum: r.get()?,
+                min: r.get()?,
+                max: r.get()?,
+            };
+            fresh.histograms.insert(k, h);
+        }
+        for _ in 0..r.get_u64()? {
+            let k = intern(r)?;
+            let n = r.get_u64()? as usize;
+            let mut pts = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                pts.push(SeriesPoint {
+                    interval: r.get()?,
+                    value: r.get()?,
+                });
+            }
+            fresh.series.insert(k, pts);
+        }
+        for _ in 0..r.get_u64()? {
+            fresh.intervals.push(IntervalMeta {
+                index: r.get()?,
+                start_cycle: r.get()?,
+                cycles: r.get()?,
+            });
+        }
+        *reg.lock() = fresh;
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for Metrics {
@@ -447,6 +574,46 @@ mod tests {
         assert_eq!(ready.len(), 2);
         assert_eq!(snap.intervals.len(), 2);
         assert_eq!(snap.intervals[1].start_cycle, 10_000);
+    }
+
+    #[test]
+    fn state_roundtrips_through_snapshot_codec() {
+        let m = Metrics::new();
+        m.counter_add("snap.c", 7);
+        m.gauge_set("snap.g", || 1.25);
+        m.observe("snap.h", || 3.0);
+        m.sample("snap.s", 0, || 0.5);
+        m.interval_rollover(0, 0, 10_000);
+        let mut w = sim_snapshot::SnapWriter::new();
+        m.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let fresh = Metrics::new();
+        fresh
+            .restore_state(&mut sim_snapshot::SnapReader::new(&bytes))
+            .unwrap();
+        assert_eq!(fresh.snapshot(), m.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_on_off_mismatch() {
+        let on = Metrics::new();
+        let mut w = sim_snapshot::SnapWriter::new();
+        on.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let off = Metrics::off();
+        assert!(off
+            .restore_state(&mut sim_snapshot::SnapReader::new(&bytes))
+            .is_err());
+        // And the symmetric case.
+        let mut w = sim_snapshot::SnapWriter::new();
+        Metrics::off().save_state(&mut w);
+        let bytes = w.into_bytes();
+        assert!(Metrics::new()
+            .restore_state(&mut sim_snapshot::SnapReader::new(&bytes))
+            .is_err());
+        assert!(Metrics::off()
+            .restore_state(&mut sim_snapshot::SnapReader::new(&bytes))
+            .is_ok());
     }
 
     #[test]

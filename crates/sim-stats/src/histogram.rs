@@ -1,6 +1,7 @@
 //! Integer-bucket histograms.
 
 use serde::{Deserialize, Serialize};
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// A dense histogram over small non-negative integer values
 /// (e.g. ready-queue length per cycle, 0..=IQ size).
@@ -140,6 +141,38 @@ impl CompanionHistogram {
         } else {
             Some(self.num.iter().sum::<f64>() / den)
         }
+    }
+}
+
+impl Snap for Histogram {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.counts);
+        w.put(&self.total);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let counts: Vec<u64> = r.get()?;
+        let total: u64 = r.get()?;
+        if counts.iter().sum::<u64>() != total {
+            return Err(SnapError::Corrupt("histogram total mismatch".into()));
+        }
+        Ok(Histogram { counts, total })
+    }
+}
+
+impl Snap for CompanionHistogram {
+    fn save(&self, w: &mut SnapWriter) {
+        self.hist.save(w);
+        w.put(&self.num);
+        w.put(&self.den);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let hist = Histogram::load(r)?;
+        let num: Vec<f64> = r.get()?;
+        let den: Vec<f64> = r.get()?;
+        if num.len() != den.len() {
+            return Err(SnapError::Corrupt("companion array length mismatch".into()));
+        }
+        Ok(CompanionHistogram { hist, num, den })
     }
 }
 

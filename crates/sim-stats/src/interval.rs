@@ -6,6 +6,7 @@
 //! exceeds the pre-set reliability target (Section 5.2).
 
 use serde::{Deserialize, Serialize};
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// A series of per-interval scalar samples (e.g. interval IQ AVF).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -71,6 +72,15 @@ impl IntervalSeries {
             .filter(|&&v| v > threshold && v <= threshold + margin)
             .count();
         slight as f64 / self.samples.len() as f64
+    }
+}
+
+impl Snap for IntervalSeries {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.samples);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(IntervalSeries { samples: r.get()? })
     }
 }
 

@@ -116,6 +116,19 @@ pub trait DispatchGovernor {
     ///
     /// [`Pipeline::set_metrics`]: crate::pipeline::Pipeline::set_metrics
     fn set_metrics(&mut self, _metrics: sim_metrics::Metrics) {}
+
+    /// Serialize mutable governor state (stateless governors write
+    /// nothing). Tracer/metrics handles are *not* state: they are
+    /// re-attached by the harness after restore.
+    fn save_state(&self, _w: &mut sim_snapshot::SnapWriter) {}
+
+    /// Restore mutable governor state saved by [`Self::save_state`].
+    fn restore_state(
+        &mut self,
+        _r: &mut sim_snapshot::SnapReader<'_>,
+    ) -> Result<(), sim_snapshot::SnapError> {
+        Ok(())
+    }
 }
 
 /// Baseline: dispatch everything the structural resources allow.

@@ -18,6 +18,7 @@
 
 use crate::dispatch::ThreadView;
 use micro_isa::{DynSeq, Pc, ThreadId};
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// Machine state visible to fetch policies (per-thread).
 #[derive(Debug, Clone, Copy)]
@@ -96,6 +97,14 @@ pub trait FetchPolicy {
 
     /// A load finished or was squashed (PDG releases its tracking).
     fn on_load_gone(&mut self, _tid: ThreadId, _seq: DynSeq) {}
+
+    /// Serialize mutable policy state (stateless policies write nothing).
+    fn save_state(&self, _w: &mut SnapWriter) {}
+
+    /// Restore mutable policy state saved by [`Self::save_state`].
+    fn restore_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// ICOUNT ordering: fewest in-flight instructions first; ties by thread
@@ -264,6 +273,36 @@ impl FetchPolicy for PredictiveDataGating {
                 list.swap_remove(pos);
             }
         }
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.tables);
+        w.put(&self.predicted);
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tables: Vec<Vec<u8>> = r.get()?;
+        let predicted: Vec<Vec<DynSeq>> = r.get()?;
+        if tables.len() != predicted.len() {
+            return Err(SnapError::Corrupt(
+                "PDG tables/predicted thread counts disagree".into(),
+            ));
+        }
+        let table_len = 1usize << self.table_bits;
+        for t in &tables {
+            if t.len() != table_len {
+                return Err(SnapError::Corrupt(format!(
+                    "PDG table size {} does not match configured {table_len}",
+                    t.len()
+                )));
+            }
+            if t.iter().any(|&c| c > 3) {
+                return Err(SnapError::Corrupt("PDG 2-bit counter out of range".into()));
+            }
+        }
+        self.tables = tables;
+        self.predicted = predicted;
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 //! bookkeeping.
 
 use micro_isa::{FuKind, OpClass};
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// All function units of one processor.
 pub struct FuPools {
@@ -64,6 +65,27 @@ impl FuPools {
             .iter()
             .filter(|&&b| b <= now)
             .count()
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for pool in &self.busy_until {
+            w.put(pool);
+        }
+    }
+
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for pool in &mut self.busy_until {
+            let loaded: Vec<u64> = r.get()?;
+            if loaded.len() != pool.len() {
+                return Err(SnapError::Corrupt(format!(
+                    "function-unit pool size {} does not match configured {}",
+                    loaded.len(),
+                    pool.len()
+                )));
+            }
+            *pool = loaded;
+        }
+        Ok(())
     }
 }
 

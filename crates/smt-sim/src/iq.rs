@@ -7,6 +7,7 @@
 
 use crate::layout;
 use crate::types::InstId;
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 
 /// The shared issue queue of the SMT processor.
 pub struct IssueQueue {
@@ -81,6 +82,14 @@ impl IssueQueue {
         self.entries.contains(&id)
     }
 
+    /// Testing hook: skew the hardware ACE-bit counter without touching
+    /// the entries it mirrors — models a soft error in the counter
+    /// itself, which the `--selfcheck` invariant sweep must catch.
+    #[doc(hidden)]
+    pub fn skew_hint_bits(&mut self, delta: u64) {
+        self.hint_bits = self.hint_bits.wrapping_add(delta);
+    }
+
     /// The occupant of physical slot `idx`, if the slot is allocated.
     /// Slot numbering reflects the collapsing-queue storage order
     /// (`swap_remove` compaction): slots `0..len()` are occupied,
@@ -93,6 +102,48 @@ impl IssueQueue {
 
     pub fn iter(&self) -> impl Iterator<Item = InstId> + '_ {
         self.entries.iter().copied()
+    }
+
+    /// Serialize the queue contents. The `entries` vector is written
+    /// verbatim: `swap_remove` compaction makes physical slot order
+    /// history-dependent, and fault injection samples slots by index,
+    /// so order must survive a round-trip for bit-identical resume.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.entries);
+        w.put(&self.hint_bits);
+        let pt: Vec<u64> = self.per_thread.iter().map(|&n| n as u64).collect();
+        w.put(&pt);
+    }
+
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let entries: Vec<InstId> = r.get()?;
+        let hint_bits = r.get_u64()?;
+        let pt: Vec<u64> = r.get()?;
+        if entries.len() > self.capacity {
+            return Err(SnapError::Corrupt(format!(
+                "IQ occupancy {} exceeds capacity {}",
+                entries.len(),
+                self.capacity
+            )));
+        }
+        if pt.len() != micro_isa::MAX_THREADS {
+            return Err(SnapError::Corrupt(format!(
+                "IQ per-thread table has {} slots, expected {}",
+                pt.len(),
+                micro_isa::MAX_THREADS
+            )));
+        }
+        if pt.iter().sum::<u64>() != entries.len() as u64 {
+            return Err(SnapError::Corrupt(
+                "IQ per-thread occupancy does not sum to entry count".into(),
+            ));
+        }
+        self.entries = entries;
+        self.hint_bits = hint_bits;
+        for (dst, &src) in self.per_thread.iter_mut().zip(pt.iter()) {
+            *dst = src as usize;
+        }
+        Ok(())
     }
 
     /// Remove every entry satisfying `pred`; calls `on_removed` for each.

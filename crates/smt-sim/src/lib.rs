@@ -60,5 +60,5 @@ pub use layout::{iq_bit_class, IqBitClass};
 pub use pipeline::inject::{
     AppliedFault, InjectableState, Occupant, RobBitKind, Structure, REGS_PER_THREAD,
 };
-pub use pipeline::{Pipeline, SimResult};
+pub use pipeline::{HookAction, Pipeline, SimResult, DEFAULT_INTERVAL_CYCLES};
 pub use stats::{IntervalSnapshot, SimStats};

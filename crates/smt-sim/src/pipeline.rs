@@ -58,6 +58,9 @@ use std::time::Instant;
 use workload_gen::{Program, ThreadEngine};
 
 pub mod inject;
+pub mod snapshot;
+
+pub use snapshot::HookAction;
 
 /// The paper's sampling interval (Sections 2.2 and 5.1).
 pub const DEFAULT_INTERVAL_CYCLES: u64 = 10_000;
@@ -311,41 +314,13 @@ impl Pipeline {
     }
 
     /// Run until `limits` are reached, reporting retirements to
-    /// `observer`.
+    /// `observer`. Cooperative cancellation is polled on the interval
+    /// clock so the atomic load costs nothing on the per-cycle path
+    /// (see [`Pipeline::run_hooked`] for the checkpointing variant —
+    /// this is the same loop with a no-op hook, so checkpointed and
+    /// plain runs are cycle-identical by construction).
     pub fn run(&mut self, limits: SimLimits, observer: &mut dyn SimObserver) -> SimResult {
-        let mut deadlocked = false;
-        let mut cancelled = false;
-        while self.stats.total_committed() < limits.max_instructions {
-            if self.now - self.measure_start >= limits.max_cycles {
-                deadlocked = !limits.cycle_limited();
-                break;
-            }
-            // Cooperative cancellation, polled on the interval clock so
-            // the atomic load costs nothing on the per-cycle path.
-            if (self.now - self.measure_start).is_multiple_of(self.interval_cycles)
-                && self.cancel.is_cancelled()
-            {
-                cancelled = true;
-                break;
-            }
-            let now = self.now;
-            if self
-                .thread_last_commit
-                .iter()
-                .any(|&c| now.saturating_sub(c) > limits.watchdog_cycles)
-            {
-                deadlocked = true;
-                break;
-            }
-            self.step(observer);
-        }
-        self.stats.cycles = self.now - self.measure_start;
-        observer.on_finish(self.now);
-        SimResult {
-            stats: self.stats.clone(),
-            deadlocked,
-            cancelled,
-        }
+        self.run_hooked(limits, observer, &mut |_| HookAction::Continue)
     }
 
     /// Warm caches, predictors and queues by running `insts` committed

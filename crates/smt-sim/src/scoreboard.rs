@@ -14,6 +14,7 @@
 
 use crate::types::InstId;
 use micro_isa::{Reg, NUM_FP_REGS, NUM_INT_REGS};
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 
 const NUM_REGS: usize = NUM_INT_REGS + NUM_FP_REGS;
 
@@ -73,6 +74,27 @@ impl Scoreboard {
     /// Number of registers with in-flight producers (diagnostics).
     pub fn pending_count(&self) -> usize {
         self.producer.iter().flatten().count()
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        for slot in &self.producer {
+            w.put(slot);
+        }
+    }
+
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for slot in &mut self.producer {
+            *slot = r.get()?;
+        }
+        Ok(())
+    }
+
+    /// Iterate over registers with in-flight producers (self-checks).
+    pub fn producers(&self) -> impl Iterator<Item = (usize, InstId)> + '_ {
+        self.producer
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.map(|id| (i, id)))
     }
 }
 

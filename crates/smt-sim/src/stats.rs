@@ -1,6 +1,7 @@
 //! Simulation statistics: whole-run counters, the ready-queue/ACE
 //! composition histogram of Figure 2, and per-interval snapshots.
 
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use sim_stats::{CompanionHistogram, IntervalSeries};
 
 /// Statistics of one closed sampling interval (default 10K cycles).
@@ -43,6 +44,31 @@ impl IntervalSnapshot {
         } else {
             (self.avg_ready_ace_len / self.avg_ready_len).clamp(0.0, 1.0)
         }
+    }
+}
+
+impl Snap for IntervalSnapshot {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.start_cycle);
+        w.put(&self.cycles);
+        w.put(&self.committed);
+        w.put(&self.l2_misses);
+        w.put(&self.avg_ready_len);
+        w.put(&self.avg_ready_ace_len);
+        w.put(&self.avg_iq_len);
+        w.put(&self.hint_avf);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(IntervalSnapshot {
+            start_cycle: r.get()?,
+            cycles: r.get()?,
+            committed: r.get()?,
+            l2_misses: r.get()?,
+            avg_ready_len: r.get()?,
+            avg_ready_ace_len: r.get()?,
+            avg_iq_len: r.get()?,
+            hint_avf: r.get()?,
+        })
     }
 }
 
@@ -137,6 +163,76 @@ impl SimStats {
         } else {
             self.mispredicts as f64 / self.branches as f64
         }
+    }
+
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.cycles);
+        w.put(&self.committed_per_thread);
+        w.put(&self.squashed);
+        w.put(&self.fetched);
+        w.put(&self.wrong_path_fetched);
+        w.put(&self.branches);
+        w.put(&self.mispredicts);
+        w.put(&self.l2_misses);
+        w.put(&self.l2_misses_wrong_path);
+        w.put(&self.l2_misses_stores);
+        w.put(&self.flushes);
+        w.put(&self.iq_occupancy_sum);
+        w.put(&self.ready_len_sum);
+        w.put(&self.governor_stall_cycles);
+        w.put(&self.fetch_blocked_icache);
+        w.put(&self.fetch_blocked_fq_full);
+        w.put(&self.fetch_blocked_gate);
+        w.put(&self.fetch_blocked_stall);
+        w.put(&self.fetch_blocks);
+        w.put(&self.diag_ready_selectable);
+        w.put(&self.diag_ready_selectable_ace);
+        w.put(&self.diag_executing);
+        w.put(&self.diag_executing_ace);
+        w.put(&self.diag_ready_wrong_path);
+        w.put(&self.ready_queue_hist);
+        w.put(&self.interval_hint_avf);
+        w.put(&self.intervals);
+    }
+
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cycles = r.get()?;
+        let committed_per_thread: Vec<u64> = r.get()?;
+        if committed_per_thread.len() != self.committed_per_thread.len() {
+            return Err(SnapError::Corrupt(format!(
+                "stats thread count {} does not match configured {}",
+                committed_per_thread.len(),
+                self.committed_per_thread.len()
+            )));
+        }
+        self.cycles = cycles;
+        self.committed_per_thread = committed_per_thread;
+        self.squashed = r.get()?;
+        self.fetched = r.get()?;
+        self.wrong_path_fetched = r.get()?;
+        self.branches = r.get()?;
+        self.mispredicts = r.get()?;
+        self.l2_misses = r.get()?;
+        self.l2_misses_wrong_path = r.get()?;
+        self.l2_misses_stores = r.get()?;
+        self.flushes = r.get()?;
+        self.iq_occupancy_sum = r.get()?;
+        self.ready_len_sum = r.get()?;
+        self.governor_stall_cycles = r.get()?;
+        self.fetch_blocked_icache = r.get()?;
+        self.fetch_blocked_fq_full = r.get()?;
+        self.fetch_blocked_gate = r.get()?;
+        self.fetch_blocked_stall = r.get()?;
+        self.fetch_blocks = r.get()?;
+        self.diag_ready_selectable = r.get()?;
+        self.diag_ready_selectable_ace = r.get()?;
+        self.diag_executing = r.get()?;
+        self.diag_executing_ace = r.get()?;
+        self.diag_ready_wrong_path = r.get()?;
+        self.ready_queue_hist = r.get()?;
+        self.interval_hint_avf = r.get()?;
+        self.intervals = r.get()?;
+        Ok(())
     }
 }
 

@@ -2,6 +2,7 @@
 //! indexed by [`InstId`].
 
 use micro_isa::{DynInst, Pc};
+use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 
 /// Handle to an in-flight instruction record.
 pub type InstId = usize;
@@ -74,6 +75,61 @@ impl InstInfo {
     }
 }
 
+impl Snap for InstStage {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            InstStage::Fetched => 0,
+            InstStage::Dispatched => 1,
+            InstStage::Issued => 2,
+            InstStage::Completed => 3,
+        });
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => InstStage::Fetched,
+            1 => InstStage::Dispatched,
+            2 => InstStage::Issued,
+            3 => InstStage::Completed,
+            t => return Err(SnapError::Corrupt(format!("bad InstStage tag {t}"))),
+        })
+    }
+}
+
+impl Snap for InstInfo {
+    fn save(&self, w: &mut SnapWriter) {
+        w.put(&self.inst);
+        w.put(&self.stage);
+        w.put(&self.fetch_cycle);
+        w.put(&self.dispatch_cycle);
+        w.put(&self.issue_cycle);
+        w.put(&self.complete_cycle);
+        w.put(&self.waiting_on);
+        w.put(&self.l2_miss);
+        w.put(&self.l1_miss);
+        w.put(&self.mispredicted);
+        w.put(&self.bp_history);
+        w.put(&self.bp_ras);
+        w.put(&self.inhibit_issue);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(InstInfo {
+            inst: r.get()?,
+            stage: r.get()?,
+            fetch_cycle: r.get()?,
+            dispatch_cycle: r.get()?,
+            issue_cycle: r.get()?,
+            complete_cycle: r.get()?,
+            waiting_on: r.get()?,
+            l2_miss: r.get()?,
+            l1_miss: r.get()?,
+            mispredicted: r.get()?,
+            bp_history: r.get()?,
+            bp_ras: r.get()?,
+            inhibit_issue: r.get()?,
+        })
+    }
+}
+
 /// A minimal slab allocator for instruction records. Free slots are
 /// recycled LIFO; the live count is tracked for leak assertions.
 #[derive(Debug, Default)]
@@ -128,6 +184,45 @@ impl InstSlab {
 
     pub fn live_count(&self) -> usize {
         self.live
+    }
+
+    /// Serialize the slab verbatim: slot array, LIFO free list and live
+    /// count. The free-list order matters for bit-identical resume —
+    /// slot recycling order determines future `InstId` assignment.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&self.slots);
+        w.put(&self.free);
+        w.put(&(self.live as u64));
+    }
+
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let slots: Vec<Option<InstInfo>> = r.get()?;
+        let free: Vec<InstId> = r.get()?;
+        let live = r.get_u64()? as usize;
+        let occupied = slots.iter().filter(|s| s.is_some()).count();
+        if occupied != live {
+            return Err(SnapError::Corrupt(format!(
+                "slab live count {live} != occupied slots {occupied}"
+            )));
+        }
+        if free.len() + live != slots.len() {
+            return Err(SnapError::Corrupt(format!(
+                "slab free list len {} + live {live} != slots {}",
+                free.len(),
+                slots.len()
+            )));
+        }
+        for &id in &free {
+            if slots.get(id).map(|s| s.is_some()).unwrap_or(true) {
+                return Err(SnapError::Corrupt(format!(
+                    "slab free list references occupied or out-of-range slot {id}"
+                )));
+            }
+        }
+        self.slots = slots;
+        self.free = free;
+        self.live = live;
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::program::Program;
 use micro_isa::{BranchKind, CtrlOutcome, DynInst, OpClass, Pc, ThreadId};
+use sim_snapshot::{SnapError, SnapReader, SnapWriter};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -185,6 +186,44 @@ impl ThreadEngine {
         }
     }
 
+    /// Serialize the engine's mutable state. The program text itself is
+    /// not written — programs are regenerated deterministically from
+    /// (model, salt) by the caller — but a fingerprint (length + entry)
+    /// is, so a restore against the wrong program fails loudly instead
+    /// of silently resuming a different workload.
+    pub fn save_state(&self, w: &mut SnapWriter) {
+        w.put(&(self.program.len() as u64));
+        w.put(&self.program.entry);
+        w.put(&self.next_pc);
+        w.put(&self.dyn_idx);
+        w.put(&self.exec_counts);
+        w.put(&self.call_stack);
+        w.put(&self.replay);
+    }
+
+    /// Restore state saved by [`Self::save_state`] onto an engine
+    /// freshly constructed over the *same* program.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let len: u64 = r.get()?;
+        let entry: Pc = r.get()?;
+        if len != self.program.len() as u64 || entry != self.program.entry {
+            return Err(SnapError::Corrupt(format!(
+                "program fingerprint mismatch: snapshot ({len}, {entry}) vs live ({}, {})",
+                self.program.len(),
+                self.program.entry
+            )));
+        }
+        self.next_pc = r.get()?;
+        self.dyn_idx = r.get()?;
+        self.exec_counts = r.get()?;
+        if self.exec_counts.len() != self.program.len() {
+            return Err(SnapError::Corrupt("exec_counts length mismatch".into()));
+        }
+        self.call_stack = r.get()?;
+        self.replay = r.get()?;
+        Ok(())
+    }
+
     /// Re-queue squashed correct-path instructions (oldest first) for
     /// re-delivery — the FLUSH fetch policy's rollback. The instructions
     /// must be passed in ascending `dyn_idx` order and must all be
@@ -334,6 +373,35 @@ mod tests {
                 assert!(!i.ace_hint, "NOP tagged ACE");
             }
         }
+    }
+
+    #[test]
+    fn snapshot_resumes_identical_stream() {
+        let mut a = engine("gcc");
+        let mut b = engine("gcc");
+        for _ in 0..3_000 {
+            a.next_correct();
+        }
+        // Leave a pending replay so the snapshot exercises that queue too.
+        let stream: Vec<DynInst> = (0..20).map(|_| a.next_correct()).collect();
+        a.push_replay(stream[10..].to_vec());
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        b.restore_state(&mut SnapReader::new(&bytes)).unwrap();
+        for _ in 0..5_000 {
+            assert_eq!(a.next_correct(), b.next_correct());
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_program() {
+        let a = engine("gcc");
+        let mut b = engine("swim");
+        let mut w = SnapWriter::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        assert!(b.restore_state(&mut SnapReader::new(&bytes)).is_err());
     }
 
     #[test]
