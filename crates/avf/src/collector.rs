@@ -11,6 +11,7 @@
 
 use crate::ace::{AceAnalyzer, AceInstRecord, Finalized};
 use crate::layout;
+use sim_profile::Profiler;
 use sim_snapshot::{Snap, SnapError, SnapReader, SnapWriter};
 use sim_stats::IntervalSeries;
 use smt_sim::{MachineConfig, RetireEvent, SimObserver};
@@ -121,6 +122,9 @@ pub struct AvfCollector {
     /// Cycle offset where measurement starts (post-warmup); all
     /// timestamps are rebased against it.
     start_cycle: u64,
+    /// Host-side span profiler for the terminal ACE sweep (off by
+    /// default; transient, never serialized into snapshots).
+    profiler: Profiler,
 }
 
 impl AvfCollector {
@@ -135,7 +139,14 @@ impl AvfCollector {
             config: config.clone(),
             final_cycle: 0,
             start_cycle: 0,
+            profiler: Profiler::off(),
         }
+    }
+
+    /// Attach a host-side span profiler: the terminal ACE window drain
+    /// (`on_finish`) records an `ace.sweep` span on it.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Rebase all timestamps to `start_cycle` (the value returned by
@@ -331,6 +342,7 @@ impl SimObserver for AvfCollector {
     }
 
     fn on_finish(&mut self, final_cycle: u64) {
+        let _sweep = self.profiler.span("ace.sweep");
         self.final_cycle = final_cycle.saturating_sub(self.start_cycle);
         let accum = &mut self.accum;
         let interval = self.interval_cycles;

@@ -27,13 +27,25 @@ use smt_sim::FetchPolicyKind;
 use std::io;
 use std::path::Path;
 
-/// Bump when the JSON layout changes; [`compare`] refuses mismatches.
+/// Bump when the JSON layout changes; [`compare`] refuses mismatches —
+/// except v2, which v3 reads compatibly (its host-throughput fields
+/// load as `None` and the throughput gates are skipped with a warning).
 /// v2: campaigns run under the `sim-harness` supervisor and the file
 /// gained an explicit `quarantined` section.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+/// v3: exhibits gained cross-seed host-throughput summaries
+/// (`host_cycles_per_sec`, `host_instrs_per_sec`) and samples the
+/// per-seed rates, enabling the one-sided throughput gate.
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
+
+/// Oldest schema [`compare`] still accepts as a baseline.
+pub const BENCH_SCHEMA_COMPAT: u32 = 2;
 
 /// One-sided wall-time gate: current mean may exceed baseline by 15 %.
 pub const WALL_TIME_TOLERANCE: f64 = 0.15;
+
+/// One-sided host-throughput gate: current mean cycles/s (or instrs/s)
+/// may fall below baseline by at most 15 %.
+pub const THROUGHPUT_TOLERANCE: f64 = 0.15;
 
 /// Two-sided simulation-metric gate: 2 % relative drift.
 pub const METRIC_TOLERANCE: f64 = 0.02;
@@ -88,6 +100,12 @@ pub struct BenchExhibit {
     pub throughput_ipc: SeedSummary,
     pub harmonic_ipc: SeedSummary,
     pub iq_avf: SeedSummary,
+    /// Host simulation rate (simulated cycles per host second) over the
+    /// measured window. `None` when loaded from a v2 baseline or when
+    /// any contributing sample lacked a measured-phase timing.
+    pub host_cycles_per_sec: Option<SeedSummary>,
+    /// Host retire rate (committed instructions per host second).
+    pub host_instrs_per_sec: Option<SeedSummary>,
 }
 
 /// A whole baseline file.
@@ -137,6 +155,10 @@ pub struct BenchSample {
     pub throughput_ipc: f64,
     pub harmonic_ipc: f64,
     pub iq_avf: f64,
+    /// Simulated cycles per host second over the measured window; `None`
+    /// in records replayed from a pre-v3 journal.
+    pub host_cycles_per_sec: Option<f64>,
+    pub host_instrs_per_sec: Option<f64>,
 }
 
 /// A supervised bench campaign: the (possibly partial) baseline plus
@@ -209,6 +231,9 @@ pub fn run_bench_supervised(
     };
 
     let job = |&(c, salt): &(usize, u64), jctx: &sim_harness::JobCtx| {
+        // Declare this job's measured-cycle budget up front so the
+        // heartbeat's ETA denominator grows as jobs are claimed.
+        jctx.progress.add_cycles_total(ctx.params.run_cycles);
         let case = &cases[c];
         let mix = workload_gen::mix_by_name(case.mix)
             .unwrap_or_else(|| panic!("unknown bench mix {}", case.mix));
@@ -277,6 +302,8 @@ pub fn run_bench_supervised(
             throughput_ipc: out.throughput_ipc,
             harmonic_ipc: out.harmonic_ipc,
             iq_avf: out.avf.iq_avf,
+            host_cycles_per_sec: out.host_cycles_per_sec(),
+            host_instrs_per_sec: out.host_instrs_per_sec(),
         })
     };
 
@@ -297,6 +324,14 @@ pub fn run_bench_supervised(
             let col = |f: &dyn Fn(&BenchSample) -> f64| {
                 SeedSummary::from_samples(&runs.iter().map(|s| f(s)).collect::<Vec<_>>())
             };
+            // Host rates summarize only when every contributing sample
+            // carries one — a mixed-journal resume (pre-v3 records)
+            // must not fabricate a partial cross-seed summary.
+            let host_col = |f: &dyn Fn(&BenchSample) -> Option<f64>| {
+                let vals: Option<Vec<f64>> = runs.iter().map(|s| f(s)).collect();
+                vals.filter(|v| !v.is_empty())
+                    .map(|v| SeedSummary::from_samples(&v))
+            };
             BenchExhibit {
                 name: case.name.to_string(),
                 mix: case.mix.to_string(),
@@ -306,6 +341,8 @@ pub fn run_bench_supervised(
                 throughput_ipc: col(&|s| s.throughput_ipc),
                 harmonic_ipc: col(&|s| s.harmonic_ipc),
                 iq_avf: col(&|s| s.iq_avf),
+                host_cycles_per_sec: host_col(&|s| s.host_cycles_per_sec),
+                host_instrs_per_sec: host_col(&|s| s.host_instrs_per_sec),
             }
         })
         .collect();
@@ -353,6 +390,7 @@ pub fn render(b: &BenchBaseline) -> Rendered {
         "IPC",
         "harmonic IPC",
         "IQ AVF",
+        "host kcyc/s",
     ]);
     for e in &b.exhibits {
         t.row(vec![
@@ -364,6 +402,18 @@ pub fn render(b: &BenchBaseline) -> Rendered {
             e.throughput_ipc.display(3),
             e.harmonic_ipc.display(3),
             e.iq_avf.display(4),
+            e.host_cycles_per_sec
+                .as_ref()
+                .map(|s| {
+                    SeedSummary {
+                        n: s.n,
+                        mean: s.mean / 1e3,
+                        stddev: s.stddev / 1e3,
+                        ci95: s.ci95 / 1e3,
+                    }
+                    .display(0)
+                })
+                .unwrap_or_else(|| "-".to_string()),
         ]);
     }
     let mut rendered = Rendered::new(
@@ -394,22 +444,46 @@ pub fn render(b: &BenchBaseline) -> Rendered {
 }
 
 /// Compare `current` against a recorded `baseline`. Returns one line
-/// per regression; empty means the check passed.
+/// per regression; empty means the check passed. Warnings from
+/// [`compare_with_warnings`] are dropped here.
 pub fn compare(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<String> {
+    compare_with_warnings(baseline, current).0
+}
+
+/// Compare `current` against a recorded `baseline`, separating hard
+/// regressions from advisory warnings. A schema-v2 baseline (the
+/// pre-throughput layout) is accepted: its host-throughput summaries
+/// load as `None`, so the throughput gates are skipped and a warning
+/// says so — everything else is still gated.
+pub fn compare_with_warnings(
+    baseline: &BenchBaseline,
+    current: &BenchBaseline,
+) -> (Vec<String>, Vec<String>) {
     let mut out = Vec::new();
+    let mut warnings = Vec::new();
     if baseline.schema_version != current.schema_version {
-        out.push(format!(
-            "schema version mismatch: baseline v{}, current v{} — re-record the baseline",
-            baseline.schema_version, current.schema_version
-        ));
-        return out;
+        if baseline.schema_version == BENCH_SCHEMA_COMPAT
+            && current.schema_version == BENCH_SCHEMA_VERSION
+        {
+            warnings.push(format!(
+                "baseline is schema v{} (no host-throughput summaries); throughput gates \
+                 skipped — re-record the baseline to enable them",
+                baseline.schema_version
+            ));
+        } else {
+            out.push(format!(
+                "schema version mismatch: baseline v{}, current v{} — re-record the baseline",
+                baseline.schema_version, current.schema_version
+            ));
+            return (out, warnings);
+        }
     }
     if baseline.budget != current.budget {
         out.push(format!(
             "budget mismatch: baseline {:?}, current {:?} — re-record the baseline",
             baseline.budget, current.budget
         ));
-        return out;
+        return (out, warnings);
     }
     if !current.quarantined.is_empty() {
         out.push(format!(
@@ -433,6 +507,40 @@ pub fn compare(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<String>
                 WALL_TIME_TOLERANCE * 100.0
             ));
         }
+        // Host throughput: one-sided, means only (getting faster is
+        // fine); gated only when both sides recorded a summary.
+        for (metric, b, c) in [
+            (
+                "host cycles/s",
+                &base.host_cycles_per_sec,
+                &cur.host_cycles_per_sec,
+            ),
+            (
+                "host instrs/s",
+                &base.host_instrs_per_sec,
+                &cur.host_instrs_per_sec,
+            ),
+        ] {
+            match (b, c) {
+                (Some(b), Some(c)) => {
+                    let floor = b.mean * (1.0 - THROUGHPUT_TOLERANCE);
+                    if c.mean < floor {
+                        out.push(format!(
+                            "{}: {metric} {:.0} fell below baseline {:.0} by more than {:.0}%",
+                            base.name,
+                            c.mean,
+                            b.mean,
+                            THROUGHPUT_TOLERANCE * 100.0
+                        ));
+                    }
+                }
+                (Some(_), None) => warnings.push(format!(
+                    "{}: {metric} missing from current run; throughput gate skipped",
+                    base.name
+                )),
+                (None, _) => {}
+            }
+        }
         for (metric, b, c) in [
             ("throughput IPC", &base.throughput_ipc, &cur.throughput_ipc),
             ("harmonic IPC", &base.harmonic_ipc, &cur.harmonic_ipc),
@@ -448,7 +556,7 @@ pub fn compare(baseline: &BenchBaseline, current: &BenchBaseline) -> Vec<String>
             out.push(format!("exhibit {} absent from baseline", cur.name));
         }
     }
-    out
+    (out, warnings)
 }
 
 /// Two-sided metric gate: relative drift beyond [`METRIC_TOLERANCE`]
@@ -499,6 +607,8 @@ mod tests {
             throughput_ipc: summary(3.0, 0.01),
             harmonic_ipc: summary(0.7, 0.005),
             iq_avf: summary(0.30, 0.002),
+            host_cycles_per_sec: Some(summary(2.0e6, 5.0e4)),
+            host_instrs_per_sec: Some(summary(4.0e6, 1.0e5)),
         }
     }
 
@@ -571,6 +681,82 @@ mod tests {
         let r = compare(&b, &rebudgeted);
         assert_eq!(r.len(), 1);
         assert!(r[0].contains("budget mismatch"));
+    }
+
+    #[test]
+    fn throughput_gate_is_one_sided_and_names_the_metric() {
+        let b = baseline();
+        let mut faster = b.clone();
+        faster.exhibits[0].host_cycles_per_sec = Some(summary(3.0e6, 5.0e4));
+        assert!(compare(&b, &faster).is_empty(), "speedups never regress");
+        // A 20 % simulation-rate drop trips the one-sided 15 % gate.
+        let mut slow = b.clone();
+        slow.exhibits[0].host_cycles_per_sec = Some(summary(1.6e6, 5.0e4));
+        let regressions = compare(&b, &slow);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("host cycles/s"), "{regressions:?}");
+        assert!(regressions[0].contains("fig2-cpu-baseline"));
+        // Same for the retire rate.
+        let mut slow_i = b.clone();
+        slow_i.exhibits[1].host_instrs_per_sec = Some(summary(3.0e6, 1.0e5));
+        let regressions = compare(&b, &slow_i);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("host instrs/s"), "{regressions:?}");
+    }
+
+    #[test]
+    fn missing_current_host_summary_warns_instead_of_regressing() {
+        let b = baseline();
+        let mut cur = b.clone();
+        cur.exhibits[0].host_cycles_per_sec = None;
+        let (regressions, warnings) = compare_with_warnings(&b, &cur);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        assert!(
+            warnings
+                .iter()
+                .any(|w| w.contains("host cycles/s") && w.contains("gate skipped")),
+            "{warnings:?}"
+        );
+    }
+
+    /// Schema-v2 BENCH files (recorded before host-throughput fields
+    /// existed) stay usable as `--check-baseline` baselines: the host
+    /// summaries load as `None`, the throughput gates are skipped with
+    /// a warning, and every other gate still applies.
+    #[test]
+    fn v2_baseline_file_is_accepted_with_throughput_gates_skipped() {
+        let text = include_str!("../testdata/bench_v2_fixture.json");
+        let v2: BenchBaseline = serde::json::from_str(text).expect("v2 fixture parses");
+        assert_eq!(v2.schema_version, 2);
+        for e in &v2.exhibits {
+            assert_eq!(e.host_cycles_per_sec, None, "v2 has no host summaries");
+            assert_eq!(e.host_instrs_per_sec, None);
+        }
+
+        // A matching current v3 run passes, with the skip warning.
+        let current = baseline();
+        let (regressions, warnings) = compare_with_warnings(&v2, &current);
+        assert!(regressions.is_empty(), "{regressions:?}");
+        assert!(
+            warnings.iter().any(|w| w.contains("schema v2")),
+            "{warnings:?}"
+        );
+
+        // The remaining gates still bite: a wall-time blowup against
+        // the v2 baseline is a regression, not a skip.
+        let mut slow = baseline();
+        slow.exhibits[0].wall_time_s = summary(20.0, 0.5);
+        let (regressions, _) = compare_with_warnings(&v2, &slow);
+        assert_eq!(regressions.len(), 1, "{regressions:?}");
+        assert!(regressions[0].contains("wall time"));
+
+        // And a v3 baseline against a v2 *current* is still a hard
+        // mismatch — compatibility is one-directional.
+        let (regressions, _) = compare_with_warnings(&current, &v2);
+        assert!(
+            regressions.iter().any(|l| l.contains("schema version")),
+            "{regressions:?}"
+        );
     }
 
     #[test]
@@ -680,6 +866,7 @@ mod tests {
             metrics: sim_metrics::Metrics::new(),
             tracer: sim_trace::Tracer::off(),
             shutdown: Some(Arc::clone(&flag)),
+            ..HarnessObservers::off()
         };
         let int_ctx = ExperimentContext::new(params);
         let stop = Arc::clone(&flag);
@@ -716,6 +903,7 @@ mod tests {
             metrics: sim_metrics::Metrics::new(),
             tracer: sim_trace::Tracer::off(),
             shutdown: Some(Arc::new(AtomicBool::new(false))),
+            ..HarnessObservers::off()
         };
         let resumed = run_bench_supervised(&resume_ctx, 1, &cfg, &obs2, Some(&dir)).unwrap();
         assert!(!resumed.interrupted);
@@ -735,6 +923,8 @@ mod tests {
         let strip = |mut b: BenchBaseline| {
             for e in &mut b.exhibits {
                 e.wall_time_s = SeedSummary::from_samples(&[]);
+                e.host_cycles_per_sec = None;
+                e.host_instrs_per_sec = None;
             }
             b
         };
@@ -778,6 +968,7 @@ mod tests {
             metrics: sim_metrics::Metrics::new(),
             tracer: sim_trace::Tracer::off(),
             shutdown: Some(Arc::clone(&flag)),
+            ..HarnessObservers::off()
         };
         let stop = Arc::clone(&flag);
         let journal = dir.join("journal.jsonl");
@@ -830,6 +1021,7 @@ mod tests {
             metrics: sim_metrics::Metrics::new(),
             tracer: sim_trace::Tracer::off(),
             shutdown: Some(Arc::new(AtomicBool::new(false))),
+            ..HarnessObservers::off()
         };
         let resumed = run_bench_supervised(&resume_ctx, 1, &cfg, &obs2, Some(&dir)).unwrap();
         assert!(!resumed.interrupted);
@@ -855,6 +1047,8 @@ mod tests {
         let strip = |mut b: BenchBaseline| {
             for e in &mut b.exhibits {
                 e.wall_time_s = SeedSummary::from_samples(&[]);
+                e.host_cycles_per_sec = None;
+                e.host_instrs_per_sec = None;
             }
             b
         };

@@ -182,6 +182,7 @@ pub fn run_measured_checkpointed(
                 return HookAction::Stop;
             }
         }
+        let _write = p.profiler().span("snapshot.write");
         let bytes = encode_checkpoint(p, &shared.borrow());
         match policy.store.save(now, &bytes) {
             Ok(_) => {

@@ -3,6 +3,7 @@
 use crate::manifest::RunManifest;
 use avf::profiler::{profile_and_tag, ProfileResult};
 use parking_lot::Mutex;
+use sim_profile::Profiler;
 use smt_sim::MachineConfig;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -79,6 +80,13 @@ pub struct ExperimentContext {
     /// When set, each run records a sim-metrics registry and exports
     /// its per-interval JSONL series and Prometheus text here.
     metrics_dir: Option<PathBuf>,
+    /// When set, each run self-profiles its host-side time (hierarchical
+    /// span tree, allocation phases) and exports folded stacks plus
+    /// Chrome host spans here.
+    profile_dir: Option<PathBuf>,
+    /// Live cycle counter of the campaign heartbeat; simulations feed it
+    /// on their interval clock when a supervised subcommand installs it.
+    progress_cycles: Mutex<Option<Arc<AtomicU64>>>,
     /// Monotonic run ids tying manifests to trace file names.
     run_counter: AtomicU64,
     /// Manifests of completed runs; the CLI drains this after each
@@ -94,6 +102,8 @@ impl ExperimentContext {
             tagged: Mutex::new(HashMap::new()),
             trace_dir: None,
             metrics_dir: None,
+            profile_dir: None,
+            progress_cycles: Mutex::new(None),
             run_counter: AtomicU64::new(0),
             manifests: Mutex::new(Vec::new()),
         }
@@ -117,6 +127,26 @@ impl ExperimentContext {
 
     pub fn metrics_dir(&self) -> Option<&Path> {
         self.metrics_dir.as_deref()
+    }
+
+    /// Enable per-run host-side self-profiling and export into `dir`.
+    pub fn with_profile_dir(mut self, dir: impl Into<PathBuf>) -> ExperimentContext {
+        self.profile_dir = Some(dir.into());
+        self
+    }
+
+    pub fn profile_dir(&self) -> Option<&Path> {
+        self.profile_dir.as_deref()
+    }
+
+    /// Install the campaign heartbeat's shared cycle counter; subsequent
+    /// runs bump it with their interval-clock progress.
+    pub fn set_progress_cycles(&self, counter: Arc<AtomicU64>) {
+        *self.progress_cycles.lock() = Some(counter);
+    }
+
+    pub fn progress_cycles(&self) -> Option<Arc<AtomicU64>> {
+        self.progress_cycles.lock().clone()
     }
 
     /// Next campaign-unique run id.
@@ -147,6 +177,19 @@ impl ExperimentContext {
         name: &'static str,
         salt: u64,
     ) -> (Arc<Program>, ProfileResult) {
+        self.tagged_program_profiled(name, salt, &Profiler::off())
+    }
+
+    /// [`tagged_program_salted`](Self::tagged_program_salted) with a
+    /// host-side span profiler: a cache miss attributes its offline ACE
+    /// sweep (the expensive part of workload preparation) to an
+    /// `ace.profile_sweep` span.
+    pub fn tagged_program_profiled(
+        &self,
+        name: &'static str,
+        salt: u64,
+        profiler: &Profiler,
+    ) -> (Arc<Program>, ProfileResult) {
         if let Some(hit) = self.tagged.lock().get(&(name, salt)) {
             return hit.clone();
         }
@@ -155,7 +198,10 @@ impl ExperimentContext {
         let model =
             workload_gen::model_by_name(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
         let raw = Arc::new(workload_gen::generate_program_salted(&model, salt));
-        let entry = profile_and_tag(&raw, self.params.profile_insts, self.params.ace_window);
+        let entry = {
+            let _sweep = profiler.span("ace.profile_sweep");
+            profile_and_tag(&raw, self.params.profile_insts, self.params.ace_window)
+        };
         let mut cache = self.tagged.lock();
         cache.entry((name, salt)).or_insert(entry).clone()
     }
@@ -167,9 +213,19 @@ impl ExperimentContext {
 
     /// Salted variant of [`mix_programs`](Self::mix_programs).
     pub fn mix_programs_salted(&self, mix: &WorkloadMix, salt: u64) -> Vec<Arc<Program>> {
+        self.mix_programs_profiled(mix, salt, &Profiler::off())
+    }
+
+    /// Span-profiled variant of [`mix_programs_salted`](Self::mix_programs_salted).
+    pub fn mix_programs_profiled(
+        &self,
+        mix: &WorkloadMix,
+        salt: u64,
+        profiler: &Profiler,
+    ) -> Vec<Arc<Program>> {
         mix.benchmarks
             .iter()
-            .map(|&n| self.tagged_program_salted(n, salt).0)
+            .map(|&n| self.tagged_program_profiled(n, salt, profiler).0)
             .collect()
     }
 }

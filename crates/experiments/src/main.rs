@@ -2,15 +2,15 @@
 //!
 //! ```text
 //! experiments [--fast] [--jobs N] [--csv DIR] [--manifest DIR]
-//!             [--trace DIR] [--metrics DIR] [EXHIBIT...]
+//!             [--trace DIR] [--metrics DIR] [--profile DIR] [EXHIBIT...]
 //! experiments --list
 //! experiments bench-baseline [--seeds N] [--jobs N] [--out FILE]
 //!             [--check-baseline FILE] [--resume DIR] [--deadline-s N]
 //!             [--snapshot-every CYCLES] [--selfcheck]
-//!             [--trace DIR] [--metrics DIR]
+//!             [--trace DIR] [--metrics DIR] [--profile DIR]
 //! experiments fault-inject [--fast] [--seeds N] [--trials N] [--jobs N]
 //!             [--out FILE] [--check-avf] [--resume DIR] [--deadline-s N]
-//!             [--trace DIR] [--metrics DIR]
+//!             [--trace DIR] [--metrics DIR] [--profile DIR]
 //! ```
 //!
 //! With no exhibit arguments, everything runs (`all`). `--fast` uses the
@@ -23,7 +23,14 @@
 //! `chrome://tracing`). `--metrics DIR` records a sim-metrics registry
 //! per simulation and exports its per-interval series as
 //! `run*.series.jsonl` plus a Prometheus text file, and merges a digest
-//! into the run's manifest.
+//! into the run's manifest. `--profile DIR` turns on the host-side
+//! self-profiler: each simulation writes flamegraph-ready folded stacks
+//! (`run*.folded`) and a Chrome trace of host spans
+//! (`run*.hostspans.trace.json`) to DIR, a profile digest (hottest
+//! spans, per-phase allocation counts, profiler overhead) lands in the
+//! run's manifest, and campaign subcommands additionally profile
+//! journal/snapshot I/O; without the flag the profiler is compiled to a
+//! single branch per cycle.
 //!
 //! `--list` prints the exhibit catalog (name + description) and exits.
 //!
@@ -70,8 +77,15 @@ use experiments::context::{ExperimentContext, ExperimentParams};
 use experiments::manifest::CampaignManifest;
 use experiments::{bench, exhibits, faultinject};
 use sim_harness::{HarnessConfig, HarnessObservers, HarnessStats, QuarantineEntry};
+use sim_profile::Profiler;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
+
+/// Counting allocator: the per-phase allocation telemetry the
+/// `--profile` digests report. Counts with relaxed atomics over the
+/// system allocator — a few nanoseconds per allocation, unconditionally.
+#[global_allocator]
+static ALLOC: sim_profile::alloc::CountingAlloc = sim_profile::alloc::CountingAlloc;
 
 /// Usage error: bad flags, unknown exhibits.
 const EXIT_USAGE: i32 = 1;
@@ -81,11 +95,12 @@ const EXIT_PARTIAL: i32 = 2;
 const EXIT_FATAL: i32 = 3;
 
 /// Flags that consume the following argument.
-const VALUE_FLAGS: [&str; 12] = [
+const VALUE_FLAGS: [&str; 13] = [
     "--csv",
     "--manifest",
     "--trace",
     "--metrics",
+    "--profile",
     "--out",
     "--check-baseline",
     "--seeds",
@@ -145,6 +160,7 @@ fn main() {
     let manifest_dir = dir_flag("--manifest");
     let trace_dir = dir_flag("--trace");
     let metrics_dir = dir_flag("--metrics");
+    let profile_dir = dir_flag("--profile");
     if let Some(n) = positive_flag("--jobs", value_of("--jobs")) {
         sim_harness::set_default_jobs(n as usize);
     }
@@ -189,6 +205,7 @@ fn main() {
             dir_flag("--check-baseline"),
             metrics_dir,
             trace_dir,
+            profile_dir,
             resume_dir,
             campaign_cfg,
         );
@@ -211,6 +228,7 @@ fn main() {
             args.iter().any(|a| a == "--check-avf"),
             trace_dir,
             metrics_dir,
+            profile_dir,
             resume_dir,
             campaign_cfg,
         );
@@ -258,6 +276,9 @@ fn main() {
     }
     if let Some(dir) = &metrics_dir {
         ctx = ctx.with_metrics_dir(dir);
+    }
+    if let Some(dir) = &profile_dir {
+        ctx = ctx.with_profile_dir(dir);
     }
     let ctx = ctx;
     println!(
@@ -340,9 +361,15 @@ fn main() {
 }
 
 /// Harness observers for a campaign subcommand: a live metrics registry
-/// (so `harness.*` counters are always collected) and a Chrome tracer
-/// for job lifecycle events when `--trace DIR` is given.
-fn campaign_observers(trace_dir: Option<&Path>, name: &str) -> HarnessObservers {
+/// (so `harness.*` counters are always collected), a Chrome tracer for
+/// job lifecycle events when `--trace DIR` is given, and a live span
+/// profiler for journal/snapshot I/O when `--profile DIR` is given (the
+/// campaign progress feed for the heartbeat is always on).
+fn campaign_observers(
+    trace_dir: Option<&Path>,
+    profile_dir: Option<&Path>,
+    name: &str,
+) -> HarnessObservers {
     let tracer = match trace_dir {
         Some(dir) if std::fs::create_dir_all(dir).is_ok() => {
             let path = dir.join(format!("harness_{name}.trace.json"));
@@ -354,15 +381,22 @@ fn campaign_observers(trace_dir: Option<&Path>, name: &str) -> HarnessObservers 
         metrics: sim_metrics::Metrics::new(),
         tracer,
         shutdown: None, // None → the process SIGINT flag
+        profiler: if profile_dir.is_some() {
+            Profiler::new()
+        } else {
+            Profiler::off()
+        },
+        ..HarnessObservers::off()
     }
 }
 
 /// Post-campaign bookkeeping shared by `bench-baseline` and
 /// `fault-inject`: print the supervision summary, export harness
-/// metrics/traces, write `DIR/campaign.json`, and translate the
-/// campaign state into the process exit code. Returns the code the
+/// metrics/traces/profiles, write `DIR/campaign.json`, and translate
+/// the campaign state into the process exit code. Returns the code the
 /// subcommand should exit with after its own reporting (0 or
 /// EXIT_PARTIAL); exits directly when the campaign was interrupted.
+#[allow(clippy::too_many_arguments)]
 fn finish_campaign(
     name: &str,
     interrupted: bool,
@@ -370,6 +404,7 @@ fn finish_campaign(
     quarantined: &[QuarantineEntry],
     resume_dir: Option<&Path>,
     metrics_dir: Option<&Path>,
+    profile_dir: Option<&Path>,
     obs: &HarnessObservers,
 ) -> i32 {
     println!(
@@ -391,6 +426,21 @@ fn finish_campaign(
         });
         if let Err(e) = export {
             eprintln!("experiments: harness metrics export failed: {e}");
+        }
+    }
+    // Supervisor-side spans (journal replay/record, snapshot I/O) get
+    // their own folded-stacks file next to the per-run profiles.
+    if let (Some(dir), Some(snap)) = (profile_dir, obs.profiler.snapshot()) {
+        let export = std::fs::create_dir_all(dir).and_then(|_| {
+            sim_harness::atomic_write(&dir.join(format!("harness_{name}.folded")), &snap.folded())
+        });
+        match export {
+            Ok(()) => println!(
+                "  [harness profile -> {} ({} span(s))]",
+                dir.join(format!("harness_{name}.folded")).display(),
+                snap.rows.len()
+            ),
+            Err(e) => eprintln!("experiments: harness profile export failed: {e}"),
         }
     }
     let exit_code = if interrupted {
@@ -437,12 +487,16 @@ fn run_bench_baseline(
     check: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
     trace_dir: Option<PathBuf>,
+    profile_dir: Option<PathBuf>,
     resume_dir: Option<PathBuf>,
     cfg: HarnessConfig,
 ) {
     let mut ctx = ExperimentContext::new(ExperimentParams::bench());
     if let Some(dir) = &metrics_dir {
         ctx = ctx.with_metrics_dir(dir);
+    }
+    if let Some(dir) = &profile_dir {
+        ctx = ctx.with_profile_dir(dir);
     }
     println!(
         "# smtsim bench-baseline (schema v{}, {} seed(s)/exhibit, warmup {} insts, {} measured cycles/run)\n",
@@ -451,7 +505,9 @@ fn run_bench_baseline(
         ctx.params.warmup_insts,
         ctx.params.run_cycles
     );
-    let obs = campaign_observers(trace_dir.as_deref(), "bench");
+    let obs = campaign_observers(trace_dir.as_deref(), profile_dir.as_deref(), "bench");
+    // Measured pipeline cycles feed the supervisor's heartbeat line.
+    ctx.set_progress_cycles(obs.progress.cycle_counter());
     let t0 = Instant::now();
     let campaign = match bench::run_bench_supervised(&ctx, seeds, &cfg, &obs, resume_dir.as_deref())
     {
@@ -470,6 +526,7 @@ fn run_bench_baseline(
         &campaign.baseline.quarantined,
         resume_dir.as_deref(),
         metrics_dir.as_deref(),
+        profile_dir.as_deref(),
         &obs,
     );
     let current = campaign.baseline;
@@ -492,7 +549,10 @@ fn run_bench_baseline(
                 std::process::exit(EXIT_FATAL);
             }
         };
-        let regressions = bench::compare(&baseline, &current);
+        let (regressions, warnings) = bench::compare_with_warnings(&baseline, &current);
+        for w in &warnings {
+            eprintln!("  [baseline check warning: {w}]");
+        }
         if regressions.is_empty() {
             println!(
                 "  [baseline check passed against {} ({} exhibit(s))]",
@@ -521,6 +581,7 @@ fn run_fault_inject(
     check_avf: bool,
     trace_dir: Option<PathBuf>,
     metrics_dir: Option<PathBuf>,
+    profile_dir: Option<PathBuf>,
     resume_dir: Option<PathBuf>,
     cfg: HarnessConfig,
 ) {
@@ -536,6 +597,9 @@ fn run_fault_inject(
     if let Some(dir) = &metrics_dir {
         ctx = ctx.with_metrics_dir(dir);
     }
+    if let Some(dir) = &profile_dir {
+        ctx = ctx.with_profile_dir(dir);
+    }
     println!(
         "# smtsim fault-inject (schema v{}, {} salt(s), {} IQ trials/campaign, warmup {} insts, {} measured cycles/run)\n",
         faultinject::FAULT_SCHEMA_VERSION,
@@ -544,7 +608,7 @@ fn run_fault_inject(
         ctx.params.warmup_insts,
         ctx.params.run_cycles
     );
-    let obs = campaign_observers(trace_dir.as_deref(), "inject");
+    let obs = campaign_observers(trace_dir.as_deref(), profile_dir.as_deref(), "inject");
     let t0 = Instant::now();
     let campaign = match faultinject::run_fault_inject_supervised(
         &ctx,
@@ -568,6 +632,7 @@ fn run_fault_inject(
         &campaign.report.quarantined,
         resume_dir.as_deref(),
         metrics_dir.as_deref(),
+        profile_dir.as_deref(),
         &obs,
     );
     let report = campaign.report;

@@ -13,6 +13,7 @@ use crate::runner::RunOutcome;
 use iq_reliability::Scheme;
 use serde::{Deserialize, Serialize};
 use sim_metrics::summary::MetricsSummary;
+use sim_profile::ProfileDigest;
 use sim_trace::timing::{PhaseTimings, StageSeconds};
 use smt_sim::{FetchPolicyKind, MachineConfig};
 use std::io;
@@ -105,6 +106,9 @@ pub struct RunManifest {
     /// Digest of the run's sim-metrics registry (runs with metrics
     /// recording enabled only).
     pub sim_metrics: Option<MetricsSummary>,
+    /// Host-side self-profile digest: top spans by self-time, profiler
+    /// overhead estimate and allocation phases (`--profile` runs only).
+    pub profile: Option<ProfileDigest>,
 }
 
 impl RunManifest {
@@ -156,6 +160,7 @@ impl RunManifest {
                 deadlocked: outcome.deadlocked,
             },
             sim_metrics: outcome.sim_metrics.clone(),
+            profile: outcome.profile.clone(),
         }
     }
 
@@ -290,6 +295,7 @@ mod tests {
                 deadlocked: false,
             },
             sim_metrics: None,
+            profile: None,
         }
     }
 
@@ -299,6 +305,40 @@ mod tests {
         let text = serde::json::to_string_pretty(&m);
         let back: RunManifest = serde::json::from_str(&text).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_with_profile_digest_roundtrips() {
+        let mut m = sample();
+        m.profile = Some(ProfileDigest {
+            sample_every: 64,
+            spans_entered: 1234,
+            span_cost_ns: 41.5,
+            overhead_frac: Some(0.0003),
+            top_spans: vec![sim_profile::SpanDigest {
+                path: "measure;cycle;issue".to_string(),
+                calls: 1000,
+                total_ms: 12.5,
+                self_ms: 9.25,
+            }],
+            alloc_warmup: Some(sim_profile::PhaseAlloc {
+                allocs: 10,
+                frees: 8,
+                bytes: 4096,
+                peak_bytes: 1 << 20,
+            }),
+            alloc_measure: None,
+        });
+        let text = serde::json::to_string_pretty(&m);
+        let back: RunManifest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        // A pre-profile manifest document (no `profile` key) still loads.
+        let legacy = serde::json::to_string(&sample());
+        let stripped = legacy
+            .replace(",\"profile\":null", "")
+            .replace("\"profile\":null,", "");
+        let old: RunManifest = serde::json::from_str(&stripped).unwrap();
+        assert_eq!(old.profile, None);
     }
 
     #[test]

@@ -8,9 +8,12 @@ use crate::context::ExperimentContext;
 use crate::manifest::{slug, RunManifest};
 use avf::{AvfCollector, AvfReport};
 use iq_reliability::Scheme;
+use serde::Value;
 use sim_harness::JobError;
 use sim_metrics::summary::MetricsSummary;
 use sim_metrics::Metrics;
+use sim_profile::alloc::AllocStats;
+use sim_profile::{PhaseAlloc, ProfileDigest, Profiler};
 use sim_trace::chrome::ChromeTraceSink;
 use sim_trace::timing::{PhaseTimings, StageSeconds};
 use sim_trace::Tracer;
@@ -46,6 +49,25 @@ pub struct RunOutcome {
     /// Digest of the run's sim-metrics registry (metrics-enabled
     /// contexts only).
     pub sim_metrics: Option<MetricsSummary>,
+    /// Simulated cycles of the measured window (host-throughput
+    /// denominator: `measured_cycles / timings.measure_s`).
+    pub measured_cycles: u64,
+    /// Instructions committed during the measured window, all threads.
+    pub committed_insts: u64,
+    /// Host-side self-profile digest (profile-enabled contexts only).
+    pub profile: Option<ProfileDigest>,
+}
+
+impl RunOutcome {
+    /// Host simulation throughput over the measured window, cycles/s.
+    pub fn host_cycles_per_sec(&self) -> Option<f64> {
+        (self.timings.measure_s > 0.0).then(|| self.measured_cycles as f64 / self.timings.measure_s)
+    }
+
+    /// Host commit throughput over the measured window, instructions/s.
+    pub fn host_instrs_per_sec(&self) -> Option<f64> {
+        (self.timings.measure_s > 0.0).then(|| self.committed_insts as f64 / self.timings.measure_s)
+    }
 }
 
 /// Run one (mix, scheme, fetch policy) combination under the context's
@@ -89,30 +111,62 @@ pub fn run_scheme_cancellable(
 ) -> RunOutcome {
     let mut timings = PhaseTimings::default();
     let run_id = ctx.next_run_id();
+    let profiler = run_profiler(ctx);
 
-    let programs = PhaseTimings::time(&mut timings.generate_s, || {
-        ctx.mix_programs_salted(mix, salt)
-    });
+    let programs = {
+        let _gen = profiler.span("generate");
+        PhaseTimings::time(&mut timings.generate_s, || {
+            ctx.mix_programs_profiled(mix, salt, &profiler)
+        })
+    };
     let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
     let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
     if let Some(token) = cancel {
         pipeline.set_cancel_token(token);
     }
     attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
+    attach_profiler(&profiler, &mut pipeline);
     let metrics = attach_metrics(ctx, &mut pipeline);
 
-    let start = PhaseTimings::time(&mut timings.warmup_s, || {
-        pipeline.warm_up(ctx.params.warmup_insts)
-    });
+    let alloc_pre_warm = alloc_mark(&profiler);
+    let start = {
+        let _warm = profiler.span("warmup");
+        PhaseTimings::time(&mut timings.warmup_s, || {
+            pipeline.warm_up(ctx.params.warmup_insts)
+        })
+    };
+    let alloc_pre_measure = alloc_mark(&profiler);
+    if let Some(counter) = ctx.progress_cycles() {
+        pipeline.set_progress_counter(counter);
+    }
     let mut collector =
         AvfCollector::new(&ctx.machine, ctx.params.ace_window, 10_000).with_start_cycle(start);
-    let result = PhaseTimings::time(&mut timings.measure_s, || {
-        pipeline.run(SimLimits::cycles(ctx.params.run_cycles), &mut collector)
-    });
-    let avf = PhaseTimings::time(&mut timings.collect_s, || collector.report());
+    collector.set_profiler(profiler.clone());
+    let result = {
+        let _meas = profiler.span("measure");
+        PhaseTimings::time(&mut timings.measure_s, || {
+            pipeline.run(SimLimits::cycles(ctx.params.run_cycles), &mut collector)
+        })
+    };
+    let alloc_post_measure = alloc_mark(&profiler);
+    let avf = {
+        let _col = profiler.span("collect");
+        PhaseTimings::time(&mut timings.collect_s, || collector.report())
+    };
     pipeline.tracer().flush();
     let stage_seconds = stage_snapshot(&pipeline);
     let sim_metrics = export_metrics(ctx, metrics.as_ref(), run_id, mix, scheme);
+    let profile = export_profile(
+        ctx,
+        &profiler,
+        run_id,
+        mix,
+        scheme,
+        pipeline.stage_profile().sample_every(),
+        &timings,
+        phase_alloc(&alloc_pre_warm, &alloc_pre_measure),
+        phase_alloc(&alloc_pre_measure, &alloc_post_measure),
+    );
 
     let outcome = RunOutcome {
         mix: mix.name.clone(),
@@ -132,6 +186,9 @@ pub fn run_scheme_cancellable(
         timings,
         stage_seconds,
         sim_metrics,
+        measured_cycles: result.stats.cycles,
+        committed_insts: result.stats.committed_per_thread.iter().sum(),
+        profile,
     };
     ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
     outcome
@@ -166,10 +223,14 @@ pub fn run_scheme_checkpointed(
 ) -> Result<RunOutcome, JobError> {
     let mut timings = PhaseTimings::default();
     let run_id = ctx.next_run_id();
+    let profiler = run_profiler(ctx);
 
-    let programs = PhaseTimings::time(&mut timings.generate_s, || {
-        ctx.mix_programs_salted(mix, salt)
-    });
+    let programs = {
+        let _gen = profiler.span("generate");
+        PhaseTimings::time(&mut timings.generate_s, || {
+            ctx.mix_programs_profiled(mix, salt, &profiler)
+        })
+    };
     // Fresh (pipeline, collector, dvm-handle) factory. The restore path
     // decodes each snapshot candidate into freshly built objects, so a
     // partial restore from a corrupt file can never contaminate the
@@ -181,11 +242,14 @@ pub fn run_scheme_checkpointed(
         (pipeline, collector, dvm_handle)
     };
 
-    let restored = policy.store.load_latest_valid(|bytes| {
-        let (mut p, mut c, h) = build();
-        let cycle = decode_checkpoint(bytes, &mut p, &mut c)?;
-        Ok((p, c, h, cycle))
-    })?;
+    let restored = {
+        let _restore = profiler.span("snapshot.restore");
+        policy.store.load_latest_valid(|bytes| {
+            let (mut p, mut c, h) = build();
+            let cycle = decode_checkpoint(bytes, &mut p, &mut c)?;
+            Ok((p, c, h, cycle))
+        })?
+    };
     let (mut pipeline, collector, dvm_handle) = match restored {
         Some(loaded) => {
             if loaded.skipped_corrupt > 0 {
@@ -206,6 +270,7 @@ pub fn run_scheme_checkpointed(
         }
         None => {
             let (mut p, c, h) = build();
+            let _warm = profiler.span("warmup");
             let start =
                 PhaseTimings::time(&mut timings.warmup_s, || p.warm_up(ctx.params.warmup_insts));
             (p, c.with_start_cycle(start), h)
@@ -215,27 +280,52 @@ pub fn run_scheme_checkpointed(
         pipeline.set_cancel_token(token);
     }
     attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
+    attach_profiler(&profiler, &mut pipeline);
     let metrics = attach_metrics(ctx, &mut pipeline);
+    if let Some(counter) = ctx.progress_cycles() {
+        pipeline.set_progress_counter(counter);
+    }
+    let mut collector = collector;
+    collector.set_profiler(profiler.clone());
 
+    let alloc_pre_measure = alloc_mark(&profiler);
     // The cycle budget is measured relative to the snapshotted
     // measurement origin, so a restored run resumed with the same
     // limits stops at the same absolute cycle a straight-through run
     // would have.
-    let run = PhaseTimings::time(&mut timings.measure_s, || {
-        run_measured_checkpointed(
-            &mut pipeline,
-            collector,
-            SimLimits::cycles(ctx.params.run_cycles),
-            policy,
-            &mut on_checkpoint,
-        )
-    })?;
+    let run = {
+        let _meas = profiler.span("measure");
+        PhaseTimings::time(&mut timings.measure_s, || {
+            run_measured_checkpointed(
+                &mut pipeline,
+                collector,
+                SimLimits::cycles(ctx.params.run_cycles),
+                policy,
+                &mut on_checkpoint,
+            )
+        })?
+    };
+    let alloc_post_measure = alloc_mark(&profiler);
     let result = run.result;
     let collector = run.collector;
-    let avf = PhaseTimings::time(&mut timings.collect_s, || collector.report());
+    let avf = {
+        let _col = profiler.span("collect");
+        PhaseTimings::time(&mut timings.collect_s, || collector.report())
+    };
     pipeline.tracer().flush();
     let stage_seconds = stage_snapshot(&pipeline);
     let sim_metrics = export_metrics(ctx, metrics.as_ref(), run_id, mix, scheme);
+    let profile = export_profile(
+        ctx,
+        &profiler,
+        run_id,
+        mix,
+        scheme,
+        pipeline.stage_profile().sample_every(),
+        &timings,
+        None, // warmup may be replaced by a restore here; phase not tracked
+        phase_alloc(&alloc_pre_measure, &alloc_post_measure),
+    );
 
     let outcome = RunOutcome {
         mix: mix.name.clone(),
@@ -255,6 +345,9 @@ pub fn run_scheme_checkpointed(
         timings,
         stage_seconds,
         sim_metrics,
+        measured_cycles: result.stats.cycles,
+        committed_insts: result.stats.committed_per_thread.iter().sum(),
+        profile,
     };
     ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
     Ok(outcome)
@@ -272,25 +365,46 @@ pub fn run_stats_only(
 ) -> smt_sim::SimResult {
     let mut timings = PhaseTimings::default();
     let run_id = ctx.next_run_id();
+    let profiler = run_profiler(ctx);
 
-    let programs = PhaseTimings::time(&mut timings.generate_s, || ctx.mix_programs(mix));
+    let programs = PhaseTimings::time(&mut timings.generate_s, || {
+        let _generate = profiler.span("generate");
+        ctx.mix_programs_profiled(mix, 0, &profiler)
+    });
     let (policies, dvm_handle) = scheme.policies(fetch, ctx.machine.iq_size);
     let mut pipeline = Pipeline::new(ctx.machine.clone(), programs, policies);
     attach_tracing(ctx, &mut pipeline, run_id, mix, scheme);
     let metrics = attach_metrics(ctx, &mut pipeline);
+    attach_profiler(&profiler, &mut pipeline);
 
+    let alloc_pre_warm = alloc_mark(&profiler);
     PhaseTimings::time(&mut timings.warmup_s, || {
+        let _warmup = profiler.span("warmup");
         pipeline.warm_up(ctx.params.warmup_insts)
     });
+    let alloc_pre_measure = alloc_mark(&profiler);
     let result = PhaseTimings::time(&mut timings.measure_s, || {
+        let _measure = profiler.span("measure");
         pipeline.run(
             SimLimits::cycles(ctx.params.run_cycles),
             &mut smt_sim::NullObserver,
         )
     });
+    let alloc_post_measure = alloc_mark(&profiler);
     pipeline.tracer().flush();
     let stage_seconds = stage_snapshot(&pipeline);
     let sim_metrics = export_metrics(ctx, metrics.as_ref(), run_id, mix, scheme);
+    let profile = export_profile(
+        ctx,
+        &profiler,
+        run_id,
+        mix,
+        scheme,
+        pipeline.stage_profile().sample_every(),
+        &timings,
+        phase_alloc(&alloc_pre_warm, &alloc_pre_measure),
+        phase_alloc(&alloc_pre_measure, &alloc_post_measure),
+    );
 
     let outcome = RunOutcome {
         mix: mix.name.clone(),
@@ -310,6 +424,9 @@ pub fn run_stats_only(
         timings,
         stage_seconds,
         sim_metrics,
+        measured_cycles: result.stats.cycles,
+        committed_insts: result.stats.committed_per_thread.iter().sum(),
+        profile,
     };
     ctx.record_manifest(RunManifest::new(run_id, ctx, mix, scheme, fetch, &outcome));
     result
@@ -321,6 +438,112 @@ fn stage_snapshot(pipeline: &Pipeline) -> Option<StageSeconds> {
         .stage_profile()
         .is_enabled()
         .then(|| pipeline.stage_profile().snapshot())
+}
+
+/// A live span profiler when the context has a profile directory, a
+/// one-branch no-op otherwise.
+fn run_profiler(ctx: &ExperimentContext) -> Profiler {
+    if ctx.profile_dir().is_some() {
+        Profiler::new()
+    } else {
+        Profiler::off()
+    }
+}
+
+/// Attach a live profiler to the pipeline (and enable the sampled
+/// stage-timing path it populates).
+fn attach_profiler(profiler: &Profiler, pipeline: &mut Pipeline) {
+    if profiler.is_on() {
+        pipeline.set_profiler(profiler.clone());
+    }
+}
+
+/// Allocation-counter reading at a phase boundary; `None` unless
+/// profiling is on and the binary installed [`CountingAlloc`]
+/// (`sim_profile::alloc::CountingAlloc`) as its global allocator.
+fn alloc_mark(profiler: &Profiler) -> Option<AllocStats> {
+    (profiler.is_on() && sim_profile::alloc::active()).then(sim_profile::alloc::stats)
+}
+
+/// Windowed allocation telemetry between two phase marks.
+fn phase_alloc(start: &Option<AllocStats>, end: &Option<AllocStats>) -> Option<PhaseAlloc> {
+    match (start, end) {
+        (Some(s), Some(e)) => Some(e.phase_since(s)),
+        _ => None,
+    }
+}
+
+/// Export a live profiler's snapshot: folded stacks + a Chrome
+/// trace-event file of synthetic host spans into the context's profile
+/// directory, and a digest (top spans, overhead estimate, allocation
+/// phases) for the run's manifest. `None` when profiling was off.
+#[allow(clippy::too_many_arguments)]
+fn export_profile(
+    ctx: &ExperimentContext,
+    profiler: &Profiler,
+    run_id: u64,
+    mix: &WorkloadMix,
+    scheme: Scheme,
+    sample_every: u32,
+    timings: &PhaseTimings,
+    alloc_warmup: Option<PhaseAlloc>,
+    alloc_measure: Option<PhaseAlloc>,
+) -> Option<ProfileDigest> {
+    let snap = profiler.snapshot()?;
+    let mut digest = snap.digest(12, sample_every);
+    digest.overhead_frac = snap.overhead_frac(timings.total_s());
+    digest.alloc_warmup = alloc_warmup;
+    digest.alloc_measure = alloc_measure;
+    let Some(dir) = ctx.profile_dir() else {
+        return Some(digest);
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!(
+            "experiments: cannot create profile dir {}: {e}",
+            dir.display()
+        );
+        return Some(digest);
+    }
+    let base = format!(
+        "run{:04}_{}_{}",
+        run_id,
+        slug(&mix.name),
+        slug(scheme.label()),
+    );
+    if let Err(e) = sim_harness::atomic_write(&dir.join(format!("{base}.folded")), &snap.folded()) {
+        eprintln!("experiments: folded-stacks export failed for {base}: {e}");
+    }
+    // Chrome host spans: the aggregated tree rendered as a synthetic
+    // timeline (children laid out sequentially inside their parent), so
+    // the same viewer that opens `--trace` files shows where host time
+    // went. Rows arrive depth-first with children name-sorted, so a
+    // per-depth cursor reconstructs the nesting.
+    let mut sink = ChromeTraceSink::new(dir.join(format!("{base}.hostspans.trace.json")));
+    let mut cursors: Vec<u64> = vec![0];
+    for row in &snap.rows {
+        while cursors.len() <= row.depth {
+            cursors.push(0);
+        }
+        let ts = cursors[row.depth];
+        let dur = row.total_ns / 1_000;
+        cursors.truncate(row.depth + 1);
+        cursors.push(ts);
+        cursors[row.depth] = ts + dur;
+        sink.complete_span(
+            ts,
+            dur,
+            row.name(),
+            vec![
+                ("path", Value::String(row.path.clone())),
+                ("calls", Value::U64(row.calls)),
+                ("self_us", Value::U64(row.self_ns / 1_000)),
+            ],
+        );
+    }
+    if let Err(e) = sink.write_file() {
+        eprintln!("experiments: host-span export failed for {base}: {e}");
+    }
+    Some(digest)
 }
 
 /// When the context carries a trace directory, attach a per-run Chrome

@@ -61,5 +61,6 @@ pub use quarantine::{Quarantine, QuarantineEntry};
 pub use snapshot::{LoadedSnapshot, SnapshotStore};
 pub use supervisor::{
     default_jobs, run_journaled, run_journaled_in, run_supervised, set_default_jobs,
-    CampaignOutcome, HarnessConfig, HarnessObservers, HarnessStats, JobCtx, JobOutcome,
+    CampaignOutcome, CampaignProgress, HarnessConfig, HarnessObservers, HarnessStats, JobCtx,
+    JobOutcome,
 };

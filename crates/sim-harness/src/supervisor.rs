@@ -2,15 +2,18 @@
 //! quarantine, with deadlines enforced by a monitor thread and results
 //! streamed back to the caller in input-slot order.
 
+use std::io::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use sim_metrics::Metrics;
+use sim_profile::heartbeat::Heartbeat;
+use sim_profile::Profiler;
 use sim_trace::{TraceEvent, Tracer};
 use smt_sim::CancelToken;
 
@@ -43,6 +46,10 @@ pub struct HarnessConfig {
     /// every snapshot boundary and fail fast (as `JobError::Diverged`)
     /// on the first violation instead of writing a poisoned checkpoint.
     pub selfcheck: bool,
+    /// Live progress line on stderr. Even when `true`, the line is
+    /// drawn only while stderr is a TTY, and is suppressed (and erased)
+    /// for the whole of a SIGINT drain.
+    pub heartbeat: bool,
 }
 
 impl Default for HarnessConfig {
@@ -55,6 +62,7 @@ impl Default for HarnessConfig {
             jobs: None,
             snapshot_every: None,
             selfcheck: false,
+            heartbeat: true,
         }
     }
 }
@@ -72,6 +80,10 @@ pub struct JobCtx {
     /// Paranoid invariant checking requested by
     /// [`HarnessConfig::selfcheck`].
     pub selfcheck: bool,
+    /// Campaign-wide progress feed: thread
+    /// [`CampaignProgress::cycle_counter`] into the simulator and
+    /// declare cycle budgets so the heartbeat can show an ETA.
+    pub progress: Arc<CampaignProgress>,
     deadline_hit: Arc<AtomicBool>,
 }
 
@@ -175,6 +187,45 @@ impl<R> CampaignOutcome<R> {
     }
 }
 
+/// Shared live-progress feed for the campaign heartbeat. Jobs bump the
+/// cycle counter (threaded into the simulator via
+/// `Pipeline::set_progress_counter`) and declare their cycle budgets;
+/// the supervisor tracks job completion and the monitor thread renders
+/// the combined state as the heartbeat line.
+#[derive(Debug, Default)]
+pub struct CampaignProgress {
+    jobs_total: AtomicUsize,
+    jobs_done: AtomicUsize,
+    /// Simulated cycles completed across all jobs, in an `Arc` so the
+    /// same counter can be handed to `Pipeline::set_progress_counter`.
+    cycles: Arc<AtomicU64>,
+    /// Sum of declared per-job cycle budgets (0 = unknown).
+    cycles_total: AtomicU64,
+}
+
+impl CampaignProgress {
+    /// The shared cycle counter, in the form the simulator accepts.
+    pub fn cycle_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.cycles)
+    }
+
+    /// Declare `cycles` of expected simulated work (called once per
+    /// job as it learns its budget); feeds the ETA denominator.
+    pub fn add_cycles_total(&self, cycles: u64) {
+        self.cycles_total.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// `(jobs_done, jobs_total, cycles, cycles_total)`.
+    pub fn snapshot(&self) -> (usize, usize, u64, u64) {
+        (
+            self.jobs_done.load(Ordering::Relaxed),
+            self.jobs_total.load(Ordering::Relaxed),
+            self.cycles.load(Ordering::Relaxed),
+            self.cycles_total.load(Ordering::Relaxed),
+        )
+    }
+}
+
 /// Observability wiring plus the shutdown source. With `shutdown:
 /// None` the supervisor watches the process-global SIGINT flag (see
 /// [`signal`]); tests inject their own flag so parallel test runs
@@ -183,6 +234,10 @@ impl<R> CampaignOutcome<R> {
 pub struct HarnessObservers {
     pub metrics: Metrics,
     pub tracer: Tracer,
+    /// Host-side span profiler; journal and snapshot I/O record here.
+    pub profiler: Profiler,
+    /// Live-progress feed shared by jobs, supervisor and heartbeat.
+    pub progress: Arc<CampaignProgress>,
     pub shutdown: Option<Arc<AtomicBool>>,
 }
 
@@ -191,6 +246,8 @@ impl HarnessObservers {
         HarnessObservers {
             metrics: Metrics::off(),
             tracer: Tracer::off(),
+            profiler: Profiler::off(),
+            progress: Arc::new(CampaignProgress::default()),
             shutdown: None,
         }
     }
@@ -292,6 +349,7 @@ where
     let max_attempts = cfg.max_attempts.max(1);
     let effective_threshold = cfg.quarantine_threshold.clamp(1, max_attempts);
     let started_at = Instant::now();
+    obs.progress.jobs_total.fetch_add(n, Ordering::Relaxed);
 
     let quarantine = Mutex::new(Quarantine::new(effective_threshold));
     let stats = Mutex::new(HarnessStats::default());
@@ -324,6 +382,11 @@ where
         {
             let board = &board;
             let monitor_stop = &monitor_stop;
+            let mut heartbeat = if cfg.heartbeat {
+                Heartbeat::stderr()
+            } else {
+                Heartbeat::with_enabled(false)
+            };
             scope.spawn(move || {
                 while !monitor_stop.load(Ordering::SeqCst) {
                     let shutdown = obs.shutdown_requested();
@@ -343,7 +406,32 @@ where
                             }
                         }
                     }
+                    // Live status line (TTY only, throttled inside
+                    // `Heartbeat`); erased and silenced for the whole
+                    // of a shutdown drain so Ctrl-C output stays clean.
+                    if shutdown {
+                        if let Some(erase) = heartbeat.clear() {
+                            eprint!("{erase}");
+                            let _ = std::io::stderr().flush();
+                        }
+                    } else {
+                        let (jobs_done, jobs_total, cycles, cycles_total) = obs.progress.snapshot();
+                        if let Some(line) = heartbeat.tick(
+                            started_at.elapsed().as_secs_f64(),
+                            jobs_done,
+                            jobs_total,
+                            cycles,
+                            cycles_total,
+                        ) {
+                            eprint!("\r\x1b[K{line}");
+                            let _ = std::io::stderr().flush();
+                        }
+                    }
                     std::thread::sleep(Duration::from_millis(10));
+                }
+                if let Some(erase) = heartbeat.clear() {
+                    eprint!("{erase}");
+                    let _ = std::io::stderr().flush();
                 }
             });
         }
@@ -388,6 +476,7 @@ where
                             cancel: cancel.clone(),
                             snapshot_every: cfg.snapshot_every,
                             selfcheck: cfg.selfcheck,
+                            progress: Arc::clone(&obs.progress),
                             deadline_hit: Arc::clone(&deadline_hit),
                         };
                         *board[worker_id].lock() = Some((
@@ -464,6 +553,9 @@ where
         // Drain on the caller's thread so `on_complete` (the journal
         // hook) needs no synchronization of its own.
         while let Ok((idx, outcome)) = rx.recv() {
+            if !matches!(outcome, JobOutcome::Skipped) {
+                obs.progress.jobs_done.fetch_add(1, Ordering::Relaxed);
+            }
             if let JobOutcome::Completed {
                 value,
                 from_journal: false,
@@ -550,6 +642,7 @@ where
     }
 
     let started_at = Instant::now();
+    let _replay_span = obs.profiler.span("journal.replay");
     let mut replayed: Vec<(usize, JobKey, R)> = Vec::new();
     let mut fresh: Vec<(usize, (JobKey, T))> = Vec::new();
     for (idx, (key, item)) in items.into_iter().enumerate() {
@@ -570,11 +663,21 @@ where
         }
     }
     let resumed = replayed.len() as u64;
+    drop(_replay_span);
+    // Replayed jobs count as finished work for the heartbeat (their
+    // cycle budgets are never declared, so ETA covers fresh jobs only).
+    obs.progress
+        .jobs_total
+        .fetch_add(resumed as usize, Ordering::Relaxed);
+    obs.progress
+        .jobs_done
+        .fetch_add(resumed as usize, Ordering::Relaxed);
 
     let fresh_indices: Vec<usize> = fresh.iter().map(|(idx, _)| *idx).collect();
     let fresh_items: Vec<(JobKey, T)> = fresh.into_iter().map(|(_, pair)| pair).collect();
 
     let sub = run_supervised(fresh_items, f, cfg, obs, |key, value: &R| {
+        let _span = obs.profiler.span("journal.record");
         if journal.lock().record(key, value).is_err() {
             obs.metrics.counter_add(C_JOURNAL_WRITE_ERRORS, 1);
         }
@@ -629,8 +732,8 @@ mod tests {
         let flag = Arc::new(AtomicBool::new(false));
         let obs = HarnessObservers {
             metrics: Metrics::new(),
-            tracer: Tracer::off(),
             shutdown: Some(Arc::clone(&flag)),
+            ..HarnessObservers::off()
         };
         (obs, flag)
     }
@@ -691,6 +794,36 @@ mod tests {
             |_, _: &u64| {},
         );
         assert!(out.fully_completed());
+    }
+
+    #[test]
+    fn campaign_progress_tracks_jobs_and_cycles() {
+        let (obs, _) = obs_with_flag();
+        let cfg = HarnessConfig {
+            heartbeat: false,
+            ..fast_cfg()
+        };
+        let out = run_supervised(
+            items(4),
+            |seed, ctx: &JobCtx| {
+                // Simulate what a real job does: declare its cycle budget
+                // up front, then feed cycle progress into the shared
+                // counter as the run advances.
+                ctx.progress.add_cycles_total(1_000);
+                ctx.progress
+                    .cycle_counter()
+                    .fetch_add(1_000, Ordering::Relaxed);
+                Ok::<u64, JobError>(*seed)
+            },
+            &cfg,
+            &obs,
+            |_, _: &u64| {},
+        );
+        assert!(out.fully_completed());
+        let (done, total, cycles, cycles_total) = obs.progress.snapshot();
+        assert_eq!((done, total), (4, 4));
+        assert_eq!(cycles, 4_000);
+        assert_eq!(cycles_total, 4_000);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Campaign progress math and rendering: exponentially-weighted
+//! throughput, ETA, and a single-line TTY heartbeat.
+//!
+//! The math (EMA, rate tracking, ETA) is pure and unit-tested; the
+//! renderer returns strings so callers decide where (and whether) to
+//! print them. [`Heartbeat`] combines both with wall-clock throttling
+//! and TTY detection for the supervisor's live status line.
+
+use std::io::IsTerminal;
+
+/// Exponential moving average. `alpha` is the weight of each new
+/// sample; the first sample seeds the average directly.
+#[derive(Debug, Clone)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    pub fn new(alpha: f64) -> Ema {
+        Ema {
+            alpha: alpha.clamp(0.0, 1.0),
+            value: None,
+        }
+    }
+
+    /// Fold in a sample; returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let next = match self.value {
+            None => sample,
+            Some(v) => v + self.alpha * (sample - v),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Smoothed rate of a monotone counter observed at wall-clock times.
+#[derive(Debug, Clone)]
+pub struct RateTracker {
+    ema: Ema,
+    last: Option<(f64, u64)>,
+}
+
+impl RateTracker {
+    pub fn new(alpha: f64) -> RateTracker {
+        RateTracker {
+            ema: Ema::new(alpha),
+            last: None,
+        }
+    }
+
+    /// Observe the counter at `done` units at time `t_s` (seconds on
+    /// any monotone clock). Returns the smoothed units/second, `None`
+    /// until two observations with advancing time exist. Time standing
+    /// still or the counter regressing (a job restart) never divides by
+    /// zero — the observation just re-anchors.
+    pub fn observe(&mut self, t_s: f64, done: u64) -> Option<f64> {
+        if let Some((t0, d0)) = self.last {
+            let dt = t_s - t0;
+            if dt <= 0.0 {
+                return self.ema.value();
+            }
+            if done >= d0 {
+                self.ema.update((done - d0) as f64 / dt);
+            }
+        }
+        self.last = Some((t_s, done));
+        self.ema.value()
+    }
+
+    pub fn rate(&self) -> Option<f64> {
+        self.ema.value()
+    }
+}
+
+/// Seconds until `done` reaches `total` at `rate` units/second.
+/// `Some(0.0)` once complete; `None` when the rate is unusable.
+pub fn eta_seconds(done: u64, total: u64, rate: f64) -> Option<f64> {
+    if done >= total {
+        return Some(0.0);
+    }
+    if !rate.is_finite() || rate <= 0.0 {
+        return None;
+    }
+    Some((total - done) as f64 / rate)
+}
+
+/// Completion percentage in [0, 100]; an unknown (zero) total is 0%.
+pub fn percent(done: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        (done.min(total) as f64 / total as f64) * 100.0
+    }
+}
+
+/// `1234567.0` → `"1.2M"`; keeps the heartbeat line short.
+pub fn human_count(x: f64) -> String {
+    let ax = x.abs();
+    if ax >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// `3723.0` → `"1h02m"`, `75.0` → `"1m15s"`, `8.2` → `"8s"`.
+pub fn human_duration(seconds: f64) -> String {
+    let s = seconds.max(0.0).round() as u64;
+    if s >= 3600 {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    } else if s >= 60 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{s}s")
+    }
+}
+
+/// Compose the heartbeat status line (without cursor control).
+pub fn render_line(
+    jobs_done: usize,
+    jobs_total: usize,
+    cycles: u64,
+    cycles_total: u64,
+    rate: Option<f64>,
+    eta: Option<f64>,
+) -> String {
+    let mut line = format!("jobs {jobs_done}/{jobs_total}");
+    if cycles_total > 0 {
+        line.push_str(&format!(
+            " · cycle {}/{} ({:.0}%)",
+            human_count(cycles as f64),
+            human_count(cycles_total as f64),
+            percent(cycles, cycles_total)
+        ));
+    } else if cycles > 0 {
+        line.push_str(&format!(" · cycle {}", human_count(cycles as f64)));
+    }
+    match rate {
+        Some(r) if r.is_finite() && r > 0.0 => {
+            line.push_str(&format!(" · {} cyc/s", human_count(r)))
+        }
+        _ => line.push_str(" · -- cyc/s"),
+    }
+    match eta {
+        Some(e) => line.push_str(&format!(" · ETA {}", human_duration(e))),
+        None => line.push_str(" · ETA --"),
+    }
+    line
+}
+
+/// Throttled, TTY-aware heartbeat for the campaign supervisor. `tick`
+/// returns the line to draw when one is due; callers print it with a
+/// carriage return so it overwrites in place, and call [`Heartbeat::clear`]
+/// before any real output (or on SIGINT drain) to erase it.
+#[derive(Debug)]
+pub struct Heartbeat {
+    enabled: bool,
+    min_interval_s: f64,
+    rate: RateTracker,
+    last_emit_s: Option<f64>,
+    /// Whether a heartbeat line is currently on screen.
+    dirty: bool,
+}
+
+impl Heartbeat {
+    /// Heartbeat targeting stderr: enabled only when stderr is a TTY.
+    pub fn stderr() -> Heartbeat {
+        Heartbeat::with_enabled(std::io::stderr().is_terminal())
+    }
+
+    pub fn with_enabled(enabled: bool) -> Heartbeat {
+        Heartbeat {
+            enabled,
+            min_interval_s: 0.2,
+            rate: RateTracker::new(0.3),
+            last_emit_s: None,
+            dirty: false,
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Observe progress at time `t_s`; returns a fresh status line when
+    /// the heartbeat is enabled and the throttle interval has elapsed.
+    pub fn tick(
+        &mut self,
+        t_s: f64,
+        jobs_done: usize,
+        jobs_total: usize,
+        cycles: u64,
+        cycles_total: u64,
+    ) -> Option<String> {
+        if !self.enabled {
+            return None;
+        }
+        let rate = self.rate.observe(t_s, cycles);
+        if let Some(last) = self.last_emit_s {
+            if t_s - last < self.min_interval_s {
+                return None;
+            }
+        }
+        self.last_emit_s = Some(t_s);
+        self.dirty = true;
+        let eta = rate.and_then(|r| eta_seconds(cycles, cycles_total, r));
+        Some(render_line(
+            jobs_done,
+            jobs_total,
+            cycles,
+            cycles_total,
+            rate,
+            eta,
+        ))
+    }
+
+    /// The ANSI sequence that erases a previously drawn heartbeat line,
+    /// if one is on screen. Returns `None` when there is nothing to do.
+    pub fn clear(&mut self) -> Option<&'static str> {
+        if self.dirty {
+            self.dirty = false;
+            Some("\r\x1b[K")
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ema_seeds_then_smooths() {
+        let mut ema = Ema::new(0.5);
+        assert_eq!(ema.value(), None);
+        assert_eq!(ema.update(10.0), 10.0);
+        assert_eq!(ema.update(20.0), 15.0);
+        assert_eq!(ema.update(20.0), 17.5);
+    }
+
+    #[test]
+    fn eta_is_monotone_under_steady_rate() {
+        let mut tracker = RateTracker::new(0.3);
+        let total = 1_000_000u64;
+        let mut last_eta = f64::INFINITY;
+        for step in 0..20u64 {
+            let t = step as f64; // 1s per step
+            let done = step * 50_000; // steady 50k/s
+            if let Some(rate) = tracker.observe(t, done) {
+                let eta = eta_seconds(done, total, rate).unwrap();
+                assert!(
+                    eta <= last_eta + 1e-9,
+                    "ETA must not grow under a steady rate: {eta} after {last_eta}"
+                );
+                last_eta = eta;
+            }
+        }
+        assert!(last_eta < 20.0, "should be nearly done: {last_eta}");
+    }
+
+    #[test]
+    fn no_division_by_zero_at_cycle_zero() {
+        let mut tracker = RateTracker::new(0.3);
+        // First observation at t=0, cycle 0: no rate yet, no panic.
+        assert_eq!(tracker.observe(0.0, 0), None);
+        // Repeated observation at the same instant: still no panic.
+        assert_eq!(tracker.observe(0.0, 0), None);
+        assert_eq!(eta_seconds(0, 0, 0.0), Some(0.0));
+        assert_eq!(eta_seconds(0, 100, 0.0), None);
+        assert_eq!(eta_seconds(0, 100, f64::NAN), None);
+        assert_eq!(percent(0, 0), 0.0);
+    }
+
+    #[test]
+    fn counter_regression_reanchors_without_negative_rate() {
+        let mut tracker = RateTracker::new(0.5);
+        tracker.observe(0.0, 1000);
+        tracker.observe(1.0, 2000);
+        let before = tracker.rate().unwrap();
+        assert!(before > 0.0);
+        // A retried job resets its cycle counter: rate must not go
+        // negative, the tracker just re-anchors.
+        tracker.observe(2.0, 0);
+        assert!(tracker.rate().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn human_formats() {
+        assert_eq!(human_count(950.0), "950");
+        assert_eq!(human_count(1_200.0), "1.2k");
+        assert_eq!(human_count(3_400_000.0), "3.4M");
+        assert_eq!(human_count(2_500_000_000.0), "2.5G");
+        assert_eq!(human_duration(8.2), "8s");
+        assert_eq!(human_duration(75.0), "1m15s");
+        assert_eq!(human_duration(3723.0), "1h02m");
+    }
+
+    #[test]
+    fn render_line_covers_unknown_totals_and_rates() {
+        let line = render_line(2, 8, 0, 0, None, None);
+        assert_eq!(line, "jobs 2/8 · -- cyc/s · ETA --");
+        let line = render_line(2, 8, 500_000, 2_000_000, Some(1_250_000.0), Some(1.2));
+        assert!(line.contains("jobs 2/8"), "{line}");
+        assert!(line.contains("cycle 500.0k/2.0M (25%)"), "{line}");
+        assert!(line.contains("1.2M cyc/s"), "{line}");
+        assert!(line.contains("ETA 1s"), "{line}");
+    }
+
+    #[test]
+    fn heartbeat_throttles_and_clears() {
+        let mut hb = Heartbeat::with_enabled(true);
+        assert!(hb.tick(0.0, 0, 4, 0, 100).is_some());
+        assert!(hb.tick(0.05, 0, 4, 10, 100).is_none(), "throttled");
+        assert!(hb.tick(0.5, 1, 4, 50, 100).is_some());
+        assert_eq!(hb.clear(), Some("\r\x1b[K"));
+        assert_eq!(hb.clear(), None, "second clear is a no-op");
+
+        let mut off = Heartbeat::with_enabled(false);
+        assert!(off.tick(0.0, 0, 4, 0, 100).is_none());
+        assert_eq!(off.clear(), None);
+    }
+}

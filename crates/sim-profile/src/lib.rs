@@ -1,0 +1,566 @@
+//! Host-side performance observability for the simulator itself.
+//!
+//! sim-trace and sim-metrics observe *simulated* behaviour; this crate
+//! observes the cost of simulating it. It provides:
+//!
+//! - [`Profiler`] — a hierarchical scoped-span profiler. Spans nest via
+//!   a thread-local stack, timestamps come from the monotonic clock,
+//!   and the aggregate is a call tree with per-span call counts,
+//!   total (inclusive) and self (exclusive) time. Like
+//!   `sim_trace::Tracer` and `sim_metrics::Metrics`, the handle is an
+//!   `Option<Arc<..>>`: when off, [`Profiler::span`] is a single branch
+//!   and nothing else runs.
+//! - [`alloc`] — a counting `GlobalAlloc` wrapper so "the measured
+//!   window is allocation-free" becomes a testable claim.
+//! - [`heartbeat`] — EMA throughput / ETA math and a TTY-aware
+//!   single-line campaign progress renderer.
+//!
+//! Reports: [`ProfileSnapshot::folded`] emits `flamegraph.pl`-style
+//! folded stacks with deterministic ordering; [`ProfileSnapshot::digest`]
+//! condenses the tree into a manifest-friendly [`ProfileDigest`].
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+pub mod alloc;
+pub mod heartbeat;
+
+/// Synthetic root of the span tree; never reported directly.
+const ROOT: usize = 0;
+
+struct Node {
+    name: &'static str,
+    children: Vec<usize>,
+    calls: u64,
+    total_ns: u64,
+}
+
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn new() -> Tree {
+        Tree {
+            nodes: vec![Node {
+                name: "",
+                children: Vec::new(),
+                calls: 0,
+                total_ns: 0,
+            }],
+        }
+    }
+
+    /// Resolve (creating on first use) the child of `parent` named `name`.
+    fn child(&mut self, parent: usize, name: &'static str) -> usize {
+        let found = self.nodes[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].name == name);
+        match found {
+            Some(id) => id,
+            None => {
+                let id = self.nodes.len();
+                self.nodes.push(Node {
+                    name,
+                    children: Vec::new(),
+                    calls: 0,
+                    total_ns: 0,
+                });
+                self.nodes[parent].children.push(id);
+                id
+            }
+        }
+    }
+}
+
+struct Shared {
+    tree: Mutex<Tree>,
+    spans_entered: AtomicU64,
+    /// Calibrated cost of one enter/exit pair, in nanoseconds.
+    span_cost_ns: f64,
+}
+
+thread_local! {
+    /// Per-thread span stack: (profiler identity token, node id). The
+    /// token keeps concurrently live profilers on one thread from
+    /// adopting each other's frames as parents.
+    static STACK: RefCell<Vec<(usize, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Hierarchical scoped-span profiler handle. Cheap to clone; clones
+/// share one span tree. `Profiler::off()` disables everything at the
+/// cost of one branch per call site.
+#[derive(Clone)]
+pub struct Profiler(Option<Arc<Shared>>);
+
+impl Profiler {
+    /// A disabled profiler: every operation is a no-op after one branch.
+    pub fn off() -> Profiler {
+        Profiler(None)
+    }
+
+    /// An enabled profiler with an empty span tree. Calibrates its own
+    /// per-span cost once (a few microseconds) so reports can state the
+    /// profiler's measured overhead.
+    pub fn new() -> Profiler {
+        Profiler(Some(Arc::new(Shared {
+            tree: Mutex::new(Tree::new()),
+            spans_entered: AtomicU64::new(0),
+            span_cost_ns: calibrate_span_cost(),
+        })))
+    }
+
+    pub fn is_on(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Enter a span. Returns a guard that records elapsed time into the
+    /// tree on drop; `None` when the profiler is off. Nesting follows
+    /// guard scope: a span entered while another guard is live on this
+    /// thread becomes its child.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> Option<SpanGuard> {
+        let shared = self.0.as_ref()?;
+        let token = Arc::as_ptr(shared) as usize;
+        let parent = STACK.with(|s| {
+            s.borrow()
+                .iter()
+                .rev()
+                .find(|(t, _)| *t == token)
+                .map(|&(_, n)| n)
+        });
+        let node = {
+            let mut tree = shared.tree.lock();
+            let id = tree.child(parent.unwrap_or(ROOT), name);
+            tree.nodes[id].calls += 1;
+            id
+        };
+        STACK.with(|s| s.borrow_mut().push((token, node)));
+        shared.spans_entered.fetch_add(1, Relaxed);
+        Some(SpanGuard {
+            shared: Arc::clone(shared),
+            token,
+            node,
+            start: Instant::now(),
+        })
+    }
+
+    /// Total spans entered so far (across all threads).
+    pub fn spans_entered(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.spans_entered.load(Relaxed))
+    }
+
+    /// Calibrated cost of one enter/exit pair in nanoseconds (0 when off).
+    pub fn span_cost_ns(&self) -> f64 {
+        self.0.as_ref().map_or(0.0, |s| s.span_cost_ns)
+    }
+
+    /// Snapshot the aggregated span tree. `None` when off.
+    pub fn snapshot(&self) -> Option<ProfileSnapshot> {
+        let shared = self.0.as_ref()?;
+        let tree = shared.tree.lock();
+        let mut rows = Vec::new();
+        collect_rows(&tree, ROOT, &mut String::new(), 0, &mut rows);
+        Some(ProfileSnapshot {
+            rows,
+            spans_entered: shared.spans_entered.load(Relaxed),
+            span_cost_ns: shared.span_cost_ns,
+        })
+    }
+}
+
+impl Default for Profiler {
+    fn default() -> Profiler {
+        Profiler::off()
+    }
+}
+
+impl std::fmt::Debug for Profiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Profiler({})", if self.is_on() { "on" } else { "off" })
+    }
+}
+
+/// Depth-first walk with children sorted by name, so snapshots (and the
+/// folded stacks derived from them) are deterministic across runs.
+fn collect_rows(tree: &Tree, node: usize, path: &mut String, depth: usize, out: &mut Vec<SpanRow>) {
+    let mut children = tree.nodes[node].children.clone();
+    children.sort_by_key(|&c| tree.nodes[c].name);
+    if node != ROOT {
+        let child_total: u64 = children.iter().map(|&c| tree.nodes[c].total_ns).sum();
+        let n = &tree.nodes[node];
+        out.push(SpanRow {
+            path: path.clone(),
+            depth,
+            calls: n.calls,
+            total_ns: n.total_ns,
+            self_ns: n.total_ns.saturating_sub(child_total),
+        });
+    }
+    for c in children {
+        let prev_len = path.len();
+        if node != ROOT {
+            path.push(';');
+        }
+        path.push_str(tree.nodes[c].name);
+        collect_rows(tree, c, path, if node == ROOT { 0 } else { depth + 1 }, out);
+        path.truncate(prev_len);
+    }
+}
+
+/// Span guard: records elapsed wall-clock into the tree when dropped.
+pub struct SpanGuard {
+    shared: Arc<Shared>,
+    token: usize,
+    node: usize,
+    start: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed_ns = self.start.elapsed().as_nanos() as u64;
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(t, n)| t == self.token && n == self.node)
+            {
+                stack.remove(pos);
+            }
+        });
+        self.shared.tree.lock().nodes[self.node].total_ns += elapsed_ns;
+    }
+}
+
+/// One aggregated span: `path` is the `;`-joined ancestry (folded-stack
+/// convention), `self_ns` excludes time attributed to child spans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    pub path: String,
+    pub depth: usize,
+    pub calls: u64,
+    pub total_ns: u64,
+    pub self_ns: u64,
+}
+
+impl SpanRow {
+    /// Leaf frame name (last `;`-separated component of the path).
+    pub fn name(&self) -> &str {
+        self.path.rsplit(';').next().unwrap_or(&self.path)
+    }
+}
+
+/// Point-in-time aggregate of a profiler's span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSnapshot {
+    /// Depth-first rows, children in name order: deterministic.
+    pub rows: Vec<SpanRow>,
+    pub spans_entered: u64,
+    pub span_cost_ns: f64,
+}
+
+impl ProfileSnapshot {
+    /// `flamegraph.pl` / inferno folded-stacks text: one
+    /// `frame;frame;frame <self-µs>` line per span, sorted by path.
+    /// Weights are self-time in microseconds.
+    pub fn folded(&self) -> String {
+        let mut lines: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| format!("{} {}", r.path, r.self_ns / 1_000))
+            .collect();
+        lines.sort();
+        let mut out = lines.join("\n");
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Condense into a manifest-friendly digest: the `top` spans by
+    /// self-time (ties broken by path, so the cut is deterministic).
+    pub fn digest(&self, top: usize, sample_every: u32) -> ProfileDigest {
+        let mut ranked: Vec<&SpanRow> = self.rows.iter().collect();
+        ranked.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.path.cmp(&b.path)));
+        ProfileDigest {
+            sample_every,
+            spans_entered: self.spans_entered,
+            span_cost_ns: self.span_cost_ns,
+            overhead_frac: None,
+            top_spans: ranked
+                .into_iter()
+                .take(top)
+                .map(|r| SpanDigest {
+                    path: r.path.clone(),
+                    calls: r.calls,
+                    total_ms: r.total_ns as f64 / 1e6,
+                    self_ms: r.self_ns as f64 / 1e6,
+                })
+                .collect(),
+            alloc_warmup: None,
+            alloc_measure: None,
+        }
+    }
+
+    /// Estimated profiler self-overhead as a fraction of `wall_s`:
+    /// spans entered × calibrated per-span cost.
+    pub fn overhead_frac(&self, wall_s: f64) -> Option<f64> {
+        if wall_s <= 0.0 {
+            return None;
+        }
+        Some((self.spans_entered as f64 * self.span_cost_ns) / (wall_s * 1e9))
+    }
+}
+
+/// One ranked span in a [`ProfileDigest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanDigest {
+    pub path: String,
+    pub calls: u64,
+    pub total_ms: f64,
+    pub self_ms: f64,
+}
+
+/// Allocation telemetry for one run phase (warmup or measured window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseAlloc {
+    pub allocs: u64,
+    pub frees: u64,
+    pub bytes: u64,
+    /// Global high-water mark of live heap bytes at phase end (an RSS
+    /// proxy; not windowed, so it is monotone across phases).
+    pub peak_bytes: u64,
+}
+
+/// Manifest-friendly condensation of one run's host-side profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileDigest {
+    /// Stage-timing sampling period (1-in-N cycles measured).
+    pub sample_every: u32,
+    pub spans_entered: u64,
+    /// Calibrated enter/exit cost of one span, nanoseconds.
+    pub span_cost_ns: f64,
+    /// Measured profiler self-overhead as a fraction of run wall-time.
+    pub overhead_frac: Option<f64>,
+    pub top_spans: Vec<SpanDigest>,
+    pub alloc_warmup: Option<PhaseAlloc>,
+    pub alloc_measure: Option<PhaseAlloc>,
+}
+
+/// Measure the cost of one enter/exit pair on a throwaway tree.
+fn calibrate_span_cost() -> f64 {
+    let shared = Arc::new(Shared {
+        tree: Mutex::new(Tree::new()),
+        spans_entered: AtomicU64::new(0),
+        span_cost_ns: 0.0,
+    });
+    let probe = Profiler(Some(shared));
+    const ITERS: u32 = 512;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        drop(probe.span("calibrate"));
+    }
+    start.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+/// Measured cost, in nanoseconds, of calling [`Profiler::span`] on a
+/// *disabled* profiler — the price every instrumented call site pays
+/// when profiling is off. Used to assert the <2% overhead budget.
+pub fn disabled_span_cost_ns() -> f64 {
+    let off = Profiler::off();
+    const ITERS: u32 = 4096;
+    let start = Instant::now();
+    for _ in 0..ITERS {
+        // `span` on an off profiler returns immediately; std::hint keeps
+        // the loop from being optimised away entirely.
+        std::hint::black_box(off.span(std::hint::black_box("off")));
+    }
+    start.elapsed().as_nanos() as f64 / ITERS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn off_profiler_yields_no_spans() {
+        let p = Profiler::off();
+        assert!(!p.is_on());
+        assert!(p.span("x").is_none());
+        assert!(p.snapshot().is_none());
+        assert_eq!(p.spans_entered(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let p = Profiler::new();
+        for _ in 0..3 {
+            let _outer = p.span("cycle");
+            {
+                let _inner = p.span("issue");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _inner2 = p.span("fetch");
+        }
+        let snap = p.snapshot().unwrap();
+        let paths: Vec<&str> = snap.rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(paths, vec!["cycle", "cycle;fetch", "cycle;issue"]);
+        let cycle = &snap.rows[0];
+        let issue = &snap.rows[2];
+        assert_eq!(cycle.calls, 3);
+        assert_eq!(issue.calls, 3);
+        assert!(issue.total_ns >= 3 * 2_000_000, "slept 2ms × 3");
+        assert!(cycle.total_ns >= issue.total_ns);
+        // Self-time excludes children.
+        assert!(cycle.self_ns <= cycle.total_ns - issue.total_ns);
+        assert_eq!(snap.spans_entered, 9);
+    }
+
+    #[test]
+    fn sibling_trees_do_not_cross() {
+        let a = Profiler::new();
+        let b = Profiler::new();
+        let _ga = a.span("alpha");
+        {
+            // b's span must not become a child of a's live frame.
+            let _gb = b.span("beta");
+        }
+        drop(_ga);
+        let sa = a.snapshot().unwrap();
+        let sb = b.snapshot().unwrap();
+        assert_eq!(sa.rows.len(), 1);
+        assert_eq!(sa.rows[0].path, "alpha");
+        assert_eq!(sb.rows.len(), 1);
+        assert_eq!(sb.rows[0].path, "beta");
+    }
+
+    #[test]
+    fn folded_stacks_are_deterministic_and_sorted() {
+        // Enter spans in a deliberately scrambled order twice; the
+        // folded output must be identical and path-sorted.
+        let render = || {
+            let p = Profiler::new();
+            {
+                let _c = p.span("commit");
+            }
+            {
+                let _g = p.span("cycle");
+                let _z = p.span("writeback");
+                drop(_z);
+                let _a = p.span("dispatch");
+            }
+            {
+                let _g = p.span("cycle");
+                let _f = p.span("fetch");
+            }
+            p.snapshot().unwrap().folded()
+        };
+        let one = render();
+        let two = render();
+        let strip_weights = |s: &str| {
+            s.lines()
+                .map(|l| l.rsplit_once(' ').unwrap().0.to_string())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip_weights(&one), strip_weights(&two));
+        let paths = strip_weights(&one);
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert_eq!(paths, sorted, "folded lines must be path-sorted");
+        assert_eq!(
+            paths,
+            vec![
+                "commit",
+                "cycle",
+                "cycle;dispatch",
+                "cycle;fetch",
+                "cycle;writeback"
+            ]
+        );
+        assert!(one.ends_with('\n'));
+    }
+
+    #[test]
+    fn digest_ranks_by_self_time_with_stable_ties() {
+        let snap = ProfileSnapshot {
+            rows: vec![
+                SpanRow {
+                    path: "b".into(),
+                    depth: 0,
+                    calls: 1,
+                    total_ns: 5_000_000,
+                    self_ns: 5_000_000,
+                },
+                SpanRow {
+                    path: "a".into(),
+                    depth: 0,
+                    calls: 1,
+                    total_ns: 5_000_000,
+                    self_ns: 5_000_000,
+                },
+                SpanRow {
+                    path: "c".into(),
+                    depth: 0,
+                    calls: 9,
+                    total_ns: 9_000_000,
+                    self_ns: 9_000_000,
+                },
+            ],
+            spans_entered: 11,
+            span_cost_ns: 50.0,
+        };
+        let d = snap.digest(2, 64);
+        assert_eq!(d.top_spans.len(), 2);
+        assert_eq!(d.top_spans[0].path, "c");
+        assert_eq!(d.top_spans[1].path, "a", "tie broken by path");
+        assert_eq!(d.sample_every, 64);
+        assert_eq!(d.spans_entered, 11);
+    }
+
+    #[test]
+    fn digest_roundtrips_through_json() {
+        let mut d = ProfileSnapshot {
+            rows: vec![],
+            spans_entered: 7,
+            span_cost_ns: 42.0,
+        }
+        .digest(4, 32);
+        d.overhead_frac = Some(0.001);
+        d.alloc_measure = Some(PhaseAlloc {
+            allocs: 0,
+            frees: 0,
+            bytes: 0,
+            peak_bytes: 1024,
+        });
+        let text = serde::json::to_string_pretty(&d);
+        let back: ProfileDigest = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn overhead_estimate_scales_with_span_count() {
+        let snap = ProfileSnapshot {
+            rows: vec![],
+            spans_entered: 1_000_000,
+            span_cost_ns: 100.0,
+        };
+        // 1e6 spans × 100ns = 0.1s of overhead; over a 10s run → 1%.
+        let frac = snap.overhead_frac(10.0).unwrap();
+        assert!((frac - 0.01).abs() < 1e-12);
+        assert_eq!(snap.overhead_frac(0.0), None);
+    }
+
+    #[test]
+    fn disabled_span_cost_is_nanoscale() {
+        // Sanity bound, generous enough for CI noise: an off-profiler
+        // call site must cost well under a tenth of a microsecond.
+        assert!(disabled_span_cost_ns() < 100.0);
+    }
+}

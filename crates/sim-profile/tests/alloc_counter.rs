@@ -1,0 +1,70 @@
+//! Allocation-counter accuracy under a known allocation pattern.
+//!
+//! Integration tests are their own binaries, so installing the
+//! counting allocator here affects only this test process — exactly
+//! the opt-in model the experiments binary uses.
+
+use sim_profile::alloc::{self, CountingAlloc};
+use std::sync::Mutex;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The counters are process-global, so tests reading exact deltas must
+/// not run concurrently with each other's allocations.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn counts_a_known_allocation_pattern() {
+    let _serial = SERIAL.lock().unwrap();
+    assert!(alloc::active(), "test harness startup must have allocated");
+
+    let before = alloc::stats();
+    const N: usize = 100;
+    const SIZE: usize = 4096;
+    let mut held: Vec<Vec<u8>> = Vec::with_capacity(N);
+    for _ in 0..N {
+        held.push(vec![0u8; SIZE]);
+    }
+    let during = alloc::stats();
+    drop(held);
+    let after = alloc::stats();
+
+    let phase = during.phase_since(&before);
+    assert_eq!(phase.allocs, N as u64 + 1, "N buffers + the outer Vec");
+    assert!(
+        phase.bytes >= (N * SIZE) as u64,
+        "at least N×{SIZE} bytes requested, got {}",
+        phase.bytes
+    );
+    assert!(
+        during.current_bytes >= before.current_bytes + (N * SIZE) as u64,
+        "live bytes must include the held buffers"
+    );
+    assert!(during.peak_bytes >= during.current_bytes);
+
+    let full = after.phase_since(&before);
+    assert_eq!(full.allocs, full.frees, "everything allocated was freed");
+    assert_eq!(
+        after.current_bytes, before.current_bytes,
+        "live bytes return to the baseline once the pattern is dropped"
+    );
+    // Peak is monotone and captured the burst.
+    assert!(after.peak_bytes >= before.current_bytes + (N * SIZE) as u64);
+}
+
+#[test]
+fn realloc_stays_balanced() {
+    let _serial = SERIAL.lock().unwrap();
+    let before = alloc::stats();
+    let mut v: Vec<u64> = Vec::new();
+    for i in 0..10_000u64 {
+        v.push(i); // repeated grow → realloc path
+    }
+    drop(v);
+    let phase = alloc::stats().phase_since(&before);
+    assert_eq!(
+        phase.allocs, phase.frees,
+        "realloc accounting must keep alloc/free counts balanced"
+    );
+}

@@ -18,6 +18,9 @@ const TID_PIPELINE: u64 = 1;
 const TID_GOVERNOR: u64 = 2;
 const TID_MEMORY: u64 = 3;
 const TID_HARNESS: u64 = 4;
+/// Host-time track: self-profiler spans in real microseconds, unlike
+/// the simulated-cycle timestamps of the event-driven tracks.
+const TID_HOST: u64 = 5;
 
 /// Accumulates Chrome trace events and writes a complete JSON document
 /// on `flush` (and on drop).
@@ -78,6 +81,22 @@ impl ChromeTraceSink {
         ]));
     }
 
+    /// Append a Chrome "complete" span (`ph: "X"`) on the host-time
+    /// track. `ts_us`/`dur_us` are host microseconds; nested spans are
+    /// expressed by containment, as Perfetto stacks overlapping spans
+    /// on one track.
+    pub fn complete_span(&mut self, ts_us: u64, dur_us: u64, name: &str, args: Vec<(&str, Value)>) {
+        self.push(obj(vec![
+            ("name", Value::String(name.to_string())),
+            ("ph", Value::String("X".to_string())),
+            ("ts", Value::U64(ts_us)),
+            ("dur", Value::U64(dur_us)),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(TID_HOST)),
+            ("args", obj(args)),
+        ]));
+    }
+
     /// Serialize the accumulated document to `self.path`.
     pub fn write_file(&mut self) -> io::Result<()> {
         let mut track_meta = Vec::new();
@@ -86,6 +105,7 @@ impl ChromeTraceSink {
             (TID_GOVERNOR, "governor"),
             (TID_MEMORY, "memory"),
             (TID_HARNESS, "harness"),
+            (TID_HOST, "host (self-profile)"),
         ] {
             track_meta.push(obj(vec![
                 ("name", Value::String("thread_name".to_string())),

@@ -62,15 +62,38 @@ impl Stage {
     }
 }
 
+/// Default stage-timing sampling period: measure 1 cycle in 64. Stage
+/// cost is stationary over thousands of cycles, so sparse sampling
+/// preserves the per-cycle averages while cutting the `Instant::now()`
+/// load (six reads per measured cycle) by the same factor.
+pub const DEFAULT_SAMPLE_EVERY: u32 = 64;
+
 /// Accumulated wall-clock time per pipeline stage. Disabled by default:
-/// when off, `enter` returns `None` and the simulator pays one branch
-/// per stage call. When enabled it costs two `Instant::now()` calls per
-/// stage per cycle — meaningful (~10%), which is why it is opt-in.
-#[derive(Debug, Clone, Default)]
+/// when off, `should_sample` is one branch per cycle. When enabled,
+/// timing is *sampled*: only 1-in-`sample_every` cycles pay the six
+/// `Instant::now()` reads, and `profiled_cycles` counts just those
+/// measured cycles so per-cycle averages remain unbiased.
+#[derive(Debug, Clone)]
 pub struct StageProfile {
     enabled: bool,
+    sample_every: u32,
+    /// Cycles offered while enabled (measured or not).
+    seen_cycles: u64,
     totals: [Duration; 5],
+    /// Cycles actually measured (denominator for per-cycle averages).
     cycles: u64,
+}
+
+impl Default for StageProfile {
+    fn default() -> StageProfile {
+        StageProfile {
+            enabled: false,
+            sample_every: DEFAULT_SAMPLE_EVERY,
+            seen_cycles: 0,
+            totals: [Duration::ZERO; 5],
+            cycles: 0,
+        }
+    }
 }
 
 /// RAII guard: charges elapsed time to its stage on drop.
@@ -94,6 +117,32 @@ impl StageProfile {
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Set the sampling period: measure 1 cycle in `n` (clamped to ≥1).
+    pub fn set_sample_every(&mut self, n: u32) {
+        self.sample_every = n.max(1);
+    }
+
+    pub fn sample_every(&self) -> u32 {
+        self.sample_every
+    }
+
+    /// Cycles offered to the profile while enabled, measured or not.
+    pub fn seen_cycles(&self) -> u64 {
+        self.seen_cycles
+    }
+
+    /// Advance the per-cycle sampling clock; `true` when this cycle
+    /// should be measured. Always `false` while disabled (one branch).
+    #[inline]
+    pub fn should_sample(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let sampled = self.seen_cycles.is_multiple_of(self.sample_every as u64);
+        self.seen_cycles += 1;
+        sampled
     }
 
     #[inline]
@@ -246,6 +295,31 @@ mod tests {
         assert!(snap.fetch_s > 0.0);
         assert_eq!(snap.profiled_cycles, 1);
         assert!((snap.total_s() - snap.fetch_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_measures_one_in_n_cycles() {
+        let mut profile = StageProfile::new(true);
+        profile.set_sample_every(4);
+        let mut measured = 0;
+        for _ in 0..16 {
+            if profile.should_sample() {
+                measured += 1;
+                profile.tick_cycle();
+            }
+        }
+        assert_eq!(measured, 4, "1-in-4 sampling over 16 cycles");
+        assert_eq!(profile.profiled_cycles(), 4);
+        assert_eq!(profile.seen_cycles(), 16);
+
+        let mut off = StageProfile::new(false);
+        assert!(!off.should_sample());
+        assert_eq!(off.seen_cycles(), 0, "disabled profile never advances");
+
+        let mut every = StageProfile::new(true);
+        every.set_sample_every(0); // clamps to 1: measure every cycle
+        assert_eq!(every.sample_every(), 1);
+        assert!(every.should_sample() && every.should_sample());
     }
 
     #[test]

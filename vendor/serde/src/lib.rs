@@ -356,10 +356,17 @@ pub fn __expect_object(value: &Value, type_name: &str) -> Result<(), Error> {
 
 #[doc(hidden)]
 pub fn __field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
-    let field = value
-        .get(name)
-        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))?;
-    T::from_value(field).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+    match value.get(name) {
+        Some(field) => {
+            T::from_value(field).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+        }
+        // Absent key ≡ explicit null: `Option<T>` fields default to
+        // `None` (upstream serde behaviour for `#[serde(default)]`-free
+        // optionals in practice via `Option`'s visitor), every other
+        // type still reports the missing field.
+        None => T::from_value(&Value::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
 }
 
 /// Enum variant encoding: unit variants are a bare string, payload
@@ -795,6 +802,34 @@ mod tests {
         assert_eq!(json::to_string(&f64::NAN), "null");
         let opt: Option<f64> = json::from_str("null").unwrap();
         assert_eq!(opt, None);
+    }
+
+    #[test]
+    fn missing_optional_field_is_none_but_required_field_errors() {
+        #[derive(Debug)]
+        struct Digest {
+            calls: u64,
+            rate: Option<f64>,
+        }
+        impl Deserialize for Digest {
+            fn from_value(value: &Value) -> Result<Digest, Error> {
+                Ok(Digest {
+                    calls: crate::__field(value, "calls")?,
+                    rate: crate::__field(value, "rate")?,
+                })
+            }
+        }
+        // Schema evolution: an old document lacking the newer optional
+        // field still loads, with the optional defaulting to None.
+        let old: Digest = json::from_str("{\"calls\": 3}").unwrap();
+        assert_eq!(old.calls, 3);
+        assert_eq!(old.rate, None);
+
+        let new: Digest = json::from_str("{\"calls\": 3, \"rate\": 0.5}").unwrap();
+        assert_eq!(new.rate, Some(0.5));
+
+        let err = json::from_str::<Digest>("{\"rate\": 0.5}").unwrap_err();
+        assert!(err.to_string().contains("missing field `calls`"), "{err}");
     }
 
     #[test]
